@@ -1,0 +1,20 @@
+//! E1 — streaming evaluation cost vs. number of access rules (Figure 2 machinery).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdds_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    let doc = workloads::hospital(1_500);
+    let events = doc.to_events();
+    let mut group = c.benchmark_group("e1_rules_scaling");
+    group.sample_size(10);
+    for n in [1usize, 8, 32] {
+        let rules = workloads::rule_pool(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| workloads::evaluate_plain(&events, &rules, "subject"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

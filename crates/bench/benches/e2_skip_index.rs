@@ -1,0 +1,20 @@
+//! E2 — secure evaluation with and without the skip index.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdds_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    let doc = workloads::hospital(2_000);
+    let secure = workloads::secure(&doc, 128, 32);
+    let rules = workloads::medical_rules();
+    let mut group = c.benchmark_group("e2_skip_index");
+    group.sample_size(10);
+    for (label, use_index) in [("with_index", true), ("without_index", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &use_index, |b, &ui| {
+            b.iter(|| workloads::run_secure(&secure, &rules, "secretary", None, ui))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

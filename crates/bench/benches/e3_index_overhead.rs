@@ -1,0 +1,20 @@
+//! E3 — skip-index construction cost and compactness.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdds_bench::workloads;
+use sdds_core::skipindex::encode::{DocumentEncoder, EncoderConfig};
+
+fn bench(c: &mut Criterion) {
+    let doc = workloads::hospital(2_000);
+    let mut group = c.benchmark_group("e3_index_overhead");
+    group.sample_size(10);
+    for (label, recursive) in [("recursive", true), ("flat", false)] {
+        let config = EncoderConfig { min_index_bytes: 32, recursive_bitmaps: recursive, ..EncoderConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| DocumentEncoder::new(*cfg).encode(&doc).stats.index_bytes)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E4 — evaluator working set vs. document depth (1 KiB budget).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdds_bench::workloads;
+use sdds_core::evaluator::{EvaluatorConfig, StreamingEvaluator};
+use sdds_xml::generator::{self, GeneratorConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_ram_budget");
+    group.sample_size(10);
+    for depth in [8usize, 32, 64] {
+        let doc = generator::deep_chain(depth, &GeneratorConfig::default());
+        let events = doc.to_events();
+        let rules = workloads::rule_pool(16);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let config = EvaluatorConfig::new(rules.clone(), "subject");
+                let (_, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+                stats.peak_ram_bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E5 — full pull-mode session (fetch, verify, decrypt, evaluate).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdds_bench::workloads;
+use sdds_xml::generator::{Corpus, GeneratorConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_latency_breakdown");
+    group.sample_size(10);
+    for corpus in [Corpus::Hospital, Corpus::Catalog] {
+        let doc = corpus.generate(1_500, &GeneratorConfig::default());
+        let secure = workloads::secure(&doc, 128, 32);
+        let rules = workloads::medical_rules();
+        group.bench_with_input(BenchmarkId::from_parameter(corpus.name()), &corpus, |b, _| {
+            b.iter(|| workloads::run_secure(&secure, &rules, "doctor", None, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E6 — push-mode selective dissemination (parental control filtering).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdds_bench::workloads;
+use sdds_card::CardProfile;
+use sdds_proxy::apps::dissem::DisseminationApp;
+
+fn bench(c: &mut Criterion) {
+    let stream = workloads::stream(10);
+    let (rules, policy) = workloads::parental_rules();
+    let app = DisseminationApp::new(b"bench", &stream, rules, CardProfile::modern_secure_element());
+    let mut group = c.benchmark_group("e6_dissemination");
+    group.sample_size(10);
+    group.bench_function("filter_10_items", |b| {
+        b.iter(|| app.consume_in_process("child", policy).unwrap().items_delivered)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7 — cost of a policy change: static encryption re-partitioning vs. SOE rule refresh.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdds_bench::workloads;
+use sdds_core::baseline::StaticEncryptionScheme;
+use sdds_core::conflict::AccessPolicy;
+use sdds_core::rule::Sign;
+use sdds_core::session::{ProtectedRules, TrustedServer};
+
+fn bench(c: &mut Criterion) {
+    let doc = workloads::hospital(1_000);
+    let policy = AccessPolicy::paper();
+    let mut group = c.benchmark_group("e7_dynamic_rules");
+    group.sample_size(10);
+    group.bench_function("static_encryption_rule_change", |b| {
+        b.iter(|| {
+            let rules = workloads::medical_rules();
+            let mut scheme = StaticEncryptionScheme::build(&doc, &rules, &policy);
+            let mut changed = rules.clone();
+            changed.push(Sign::Permit, "nurse", "//patient/name").unwrap();
+            scheme.apply_rule_change(&doc, &changed, &policy).bytes_reencrypted
+        })
+    });
+    group.bench_function("soe_rule_refresh", |b| {
+        b.iter(|| {
+            let mut server = TrustedServer::new(b"bench", workloads::medical_rules());
+            server.rules_mut().push(Sign::Permit, "nurse", "//patient/name").unwrap();
+            let sealed = server.protected_rules_for(&sdds_core::rule::Subject::new("nurse"));
+            ProtectedRules::decode(&sealed.encode()).unwrap().encode().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E8 — queries of varying selectivity intersected with access rights.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdds_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    let doc = workloads::hospital(2_000);
+    let secure = workloads::secure(&doc, 128, 32);
+    let rules = workloads::medical_rules();
+    let mut group = c.benchmark_group("e8_query_mix");
+    group.sample_size(10);
+    for (label, query) in [("broad", "//patient"), ("narrow", "//patient/name")] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, q| {
+            b.iter(|| workloads::run_secure(&secure, &rules, "doctor", Some(q), true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E9 — streaming SOE engine vs. DOM materialisation on the terminal.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdds_bench::workloads;
+use sdds_core::baseline::DomBaseline;
+use sdds_core::conflict::AccessPolicy;
+use sdds_core::rule::Subject;
+
+fn bench(c: &mut Criterion) {
+    let doc = workloads::hospital(2_000);
+    let secure = workloads::secure(&doc, 128, 32);
+    let rules = workloads::medical_rules();
+    let mut group = c.benchmark_group("e9_streaming_vs_dom");
+    group.sample_size(10);
+    group.bench_function("streaming_soe", |b| {
+        b.iter(|| workloads::run_secure(&secure, &rules, "secretary", None, true))
+    });
+    group.bench_function("dom_baseline", |b| {
+        b.iter(|| {
+            DomBaseline::run(&secure, &workloads::bench_key(), &rules, &Subject::new("secretary"), None, &AccessPolicy::paper())
+                .unwrap()
+                .materialized_bytes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,299 @@
+//! Prints, for every experiment E1–E9 of EXPERIMENTS.md, the table or series
+//! the paper's evaluation corresponds to.
+//!
+//! Run with: `cargo run -p sdds-bench --bin harness --release`
+
+use std::time::Instant;
+
+use sdds_bench::workloads;
+use sdds_card::{CardProfile, CostModel};
+use sdds_core::baseline::{DomBaseline, StaticEncryptionScheme};
+use sdds_core::conflict::AccessPolicy;
+use sdds_core::evaluator::{EvaluatorConfig, StreamingEvaluator};
+use sdds_core::rule::{RuleSet, Sign, Subject};
+use sdds_core::secdoc::SecureDocumentBuilder;
+use sdds_core::skipindex::encode::{DocumentEncoder, EncoderConfig};
+use sdds_proxy::apps::dissem::DisseminationApp;
+use sdds_xml::generator::{self, Corpus, GeneratorConfig};
+use sdds_xml::stats::DocStats;
+
+fn banner(id: &str, title: &str) {
+    println!("\n==================================================================");
+    println!("{id} — {title}");
+    println!("==================================================================");
+}
+
+fn e1_rules_scaling() {
+    banner("E1", "streaming evaluation cost vs. number of access rules");
+    let doc = workloads::hospital(4_000);
+    let events = doc.to_events();
+    println!("document: {}", DocStats::from_events(&events).summary());
+    println!("{:>8} {:>14} {:>16} {:>14}", "#rules", "wall time (ms)", "events/s", "peak RAM (B)");
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let rules = workloads::rule_pool(n);
+        let config = EvaluatorConfig::new(rules, "subject");
+        let start = Instant::now();
+        let (_, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "{:>8} {:>14.2} {:>16.0} {:>14}",
+            n,
+            elapsed * 1e3,
+            events.len() as f64 / elapsed,
+            stats.peak_ram_bytes()
+        );
+    }
+}
+
+fn e2_skip_index() {
+    banner("E2", "skip index: transferred/decrypted volume, with vs. without");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "elements", "subject", "plain (B)", "no-index (B)", "index (B)", "saving", "egate (s)"
+    );
+    for elements in [1_000usize, 4_000, 12_000] {
+        let doc = workloads::hospital(elements);
+        let secure = workloads::secure(&doc, 128, 32);
+        for subject in ["doctor", "secretary"] {
+            let with = workloads::run_secure(&secure, &workloads::medical_rules(), subject, None, true);
+            let without =
+                workloads::run_secure(&secure, &workloads::medical_rules(), subject, None, false);
+            let saving = 1.0
+                - with.ledger.bytes_decrypted as f64 / without.ledger.bytes_decrypted.max(1) as f64;
+            println!(
+                "{:>10} {:>10} {:>12} {:>12} {:>10} {:>11.0}% {:>12.1}",
+                elements,
+                subject,
+                secure.header.plaintext_len,
+                without.ledger.bytes_decrypted,
+                with.ledger.bytes_decrypted,
+                saving * 100.0,
+                workloads::egate_seconds(&with),
+            );
+        }
+    }
+}
+
+fn e3_index_overhead() {
+    banner("E3", "skip index compactness (overhead vs. recursive compression)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "corpus", "tokens (B)", "summaries", "index (B)", "overhead", "recursive"
+    );
+    for corpus in Corpus::all() {
+        let doc = corpus.generate(4_000, &GeneratorConfig::default());
+        for recursive in [true, false] {
+            let enc = DocumentEncoder::new(EncoderConfig {
+                min_index_bytes: 32,
+                recursive_bitmaps: recursive,
+                ..EncoderConfig::default()
+            })
+            .encode(&doc);
+            println!(
+                "{:>10} {:>12} {:>12} {:>12} {:>11.2}% {:>10}",
+                corpus.name(),
+                enc.stats.token_bytes,
+                enc.stats.summaries,
+                enc.stats.index_bytes,
+                enc.index_overhead() * 100.0,
+                recursive
+            );
+        }
+    }
+}
+
+fn e4_ram_budget() {
+    banner("E4", "secure working memory vs. document depth and rule count (1 KiB budget)");
+    println!(
+        "{:>8} {:>8} {:>16} {:>14}",
+        "depth", "#rules", "peak RAM (B)", "fits e-gate?"
+    );
+    let budget = CardProfile::egate().ram_bytes;
+    for depth in [4usize, 8, 16, 32, 64] {
+        for n_rules in [4usize, 16, 64] {
+            let doc = generator::deep_chain(depth, &GeneratorConfig::default());
+            let rules = workloads::rule_pool(n_rules);
+            let config = EvaluatorConfig::new(rules, "subject");
+            let events = doc.to_events();
+            let (_, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+            let peak = stats.peak_ram_bytes();
+            println!(
+                "{:>8} {:>8} {:>16} {:>14}",
+                depth,
+                n_rules,
+                peak,
+                if peak <= budget { "yes" } else { "NO" }
+            );
+        }
+    }
+}
+
+fn e5_latency_breakdown() {
+    banner("E5", "pull-mode latency breakdown on the e-gate cost model");
+    for corpus in [Corpus::Hospital, Corpus::Community, Corpus::Catalog] {
+        let doc = corpus.generate(2_000, &GeneratorConfig::default());
+        let secure = SecureDocumentBuilder::new("bench-doc", workloads::bench_key())
+            .chunk_size(128)
+            .build(&doc);
+        let rules = match corpus {
+            Corpus::Hospital => workloads::medical_rules(),
+            _ => RuleSet::parse("+, secretary, //name\n+, secretary, //title").unwrap(),
+        };
+        let stats = workloads::run_secure(&secure, &rules, "secretary", None, true);
+        let breakdown = stats.ledger.breakdown(&CostModel::egate());
+        println!("{:>10}: {}", corpus.name(), breakdown.summary_ms());
+        let modern = stats.ledger.breakdown(&CostModel::modern_secure_element());
+        println!(
+            "{:>10}  (modern secure element: total {:.1} ms)",
+            "", modern.total().as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn e6_dissemination() {
+    banner("E6", "push-mode selective dissemination throughput (parental control)");
+    let stream = workloads::stream(30);
+    let (rules, policy) = workloads::parental_rules();
+    let app = DisseminationApp::new(b"bench", &stream, rules, CardProfile::modern_secure_element());
+    let report = app.consume_in_process("child", policy).unwrap();
+    println!(
+        "items: {} delivered / {} blocked; worst per-item latency {:.1} ms; total {:.2} s; skipped {} B",
+        report.items_delivered,
+        report.items_blocked,
+        report.max_item_latency.as_secs_f64() * 1e3,
+        report.total_latency.as_secs_f64(),
+        report.bytes_skipped
+    );
+    for period_ms in [500u64, 1000, 2000] {
+        println!(
+            "  sustains 1 item / {period_ms} ms on the e-gate model: {}",
+            report.meets_real_time(std::time::Duration::from_millis(period_ms))
+        );
+    }
+}
+
+fn e7_dynamic_rules() {
+    banner("E7", "cost of a policy change: SOE approach vs. server-side static encryption");
+    let doc = workloads::hospital(2_000);
+    let policy = AccessPolicy::paper();
+    println!(
+        "{:>28} {:>18} {:>14} {:>12}",
+        "policy change", "re-encrypted (B)", "keys redistrib.", "SOE cost (B)"
+    );
+    let changes: Vec<(&str, Box<dyn Fn(&mut RuleSet)>)> = vec![
+        (
+            "grant nurse //patient/name",
+            Box::new(|r: &mut RuleSet| {
+                r.push(Sign::Permit, "nurse", "//patient/name").unwrap();
+            }),
+        ),
+        (
+            "revoke secretary address",
+            Box::new(|r: &mut RuleSet| {
+                r.push(Sign::Deny, "secretary", "//patient/address").unwrap();
+            }),
+        ),
+        (
+            "grant researcher //acts",
+            Box::new(|r: &mut RuleSet| {
+                r.push(Sign::Permit, "researcher", "//acts").unwrap();
+            }),
+        ),
+    ];
+    let mut rules = workloads::medical_rules();
+    let mut scheme = StaticEncryptionScheme::build(&doc, &rules, &policy);
+    for (label, change) in changes {
+        change(&mut rules);
+        let cost = scheme.apply_rule_change(&doc, &rules, &policy);
+        // The SOE approach only ships a new protected rule set to the subject.
+        let soe_cost = rules.encode().len() + 64;
+        println!(
+            "{:>28} {:>18} {:>14} {:>12}",
+            label, cost.bytes_reencrypted, cost.keys_redistributed, soe_cost
+        );
+    }
+    println!(
+        "(static scheme: {} equivalence classes; doctor holds {} keys)",
+        scheme.class_count(),
+        scheme.keys_held_by(&Subject::new("doctor"))
+    );
+}
+
+fn e8_query_mix() {
+    banner("E8", "query + access control: fetched volume per query selectivity");
+    let doc = workloads::hospital(4_000);
+    let secure = workloads::secure(&doc, 128, 32);
+    println!(
+        "{:>34} {:>12} {:>12} {:>12}",
+        "query (subject = doctor)", "fetched (B)", "skipped (B)", "egate (s)"
+    );
+    for query in [
+        "//patient",
+        "//patient/name",
+        "//acts/act[@type = \"surgery\"]",
+        "//patient[@id = \"P00003\"]",
+    ] {
+        let stats = workloads::run_secure(
+            &secure,
+            &workloads::medical_rules(),
+            "doctor",
+            Some(query),
+            true,
+        );
+        println!(
+            "{:>34} {:>12} {:>12} {:>12.1}",
+            query,
+            stats.ledger.bytes_decrypted,
+            stats.ledger.bytes_skipped,
+            workloads::egate_seconds(&stats)
+        );
+    }
+}
+
+fn e9_streaming_vs_dom() {
+    banner("E9", "streaming SOE engine vs. DOM materialisation baseline");
+    println!(
+        "{:>10} {:>18} {:>18} {:>16} {:>16}",
+        "elements", "SOE peak RAM (B)", "DOM footprint (B)", "SOE decrypt (B)", "DOM decrypt (B)"
+    );
+    for elements in [500usize, 2_000, 8_000] {
+        let doc = workloads::hospital(elements);
+        let secure = workloads::secure(&doc, 128, 32);
+        let rules = workloads::medical_rules();
+        let soe = workloads::run_secure(&secure, &rules, "secretary", None, true);
+        let dom = DomBaseline::run(
+            &secure,
+            &workloads::bench_key(),
+            &rules,
+            &Subject::new("secretary"),
+            None,
+            &AccessPolicy::paper(),
+        )
+        .unwrap();
+        println!(
+            "{:>10} {:>18} {:>18} {:>16} {:>16}",
+            elements,
+            soe.evaluator.map(|e| e.peak_ram_bytes()).unwrap_or(0),
+            dom.materialized_bytes,
+            soe.ledger.bytes_decrypted,
+            dom.ledger.bytes_decrypted
+        );
+    }
+}
+
+fn main() {
+    let start = Instant::now();
+    e1_rules_scaling();
+    e2_skip_index();
+    e3_index_overhead();
+    e4_ram_budget();
+    e5_latency_breakdown();
+    e6_dissemination();
+    e7_dynamic_rules();
+    e8_query_mix();
+    e9_streaming_vs_dom();
+    println!(
+        "\nharness completed in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,7 @@
+//! Shared workload definitions for the SDDS benchmark harness.
+//!
+//! Every experiment of `EXPERIMENTS.md` (E1–E9) builds its inputs through this
+//! module so that the Criterion benches (`benches/e*.rs`) and the table
+//! printer (`src/bin/harness.rs`) measure exactly the same configurations.
+
+pub mod workloads;

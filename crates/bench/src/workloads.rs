@@ -1,0 +1,128 @@
+//! Workloads of the E1–E9 experiments.
+
+use sdds_card::CostModel;
+use sdds_core::conflict::AccessPolicy;
+use sdds_core::engine::{evaluate_secure_document, EngineConfig, SessionStats};
+use sdds_core::evaluator::{EvaluatorConfig, StreamingEvaluator};
+use sdds_core::query::Query;
+use sdds_core::rule::{RuleSet, Sign};
+use sdds_core::secdoc::{SecureDocument, SecureDocumentBuilder};
+use sdds_core::skipindex::encode::EncoderConfig;
+use sdds_crypto::SecretKey;
+use sdds_xml::generator::{self, Corpus, GeneratorConfig};
+use sdds_xml::{Document, Event};
+
+/// The community key used by every benchmark document.
+pub fn bench_key() -> SecretKey {
+    SecretKey::derive(b"sdds-bench", "documents")
+}
+
+/// A hospital document of roughly `elements` element nodes.
+pub fn hospital(elements: usize) -> Document {
+    Corpus::Hospital.generate(elements, &GeneratorConfig::default())
+}
+
+/// Builds the secure form of a document with the given chunk size and skip
+/// index granularity.
+pub fn secure(doc: &Document, chunk_size: usize, min_index_bytes: usize) -> SecureDocument {
+    SecureDocumentBuilder::new("bench-doc", bench_key())
+        .chunk_size(chunk_size)
+        .encoder_config(EncoderConfig {
+            min_index_bytes,
+            ..EncoderConfig::default()
+        })
+        .build(doc)
+}
+
+/// The medical rule set used throughout the experiments; the subject picks the
+/// restrictiveness profile (doctor ≈ permissive, secretary ≈ restrictive).
+pub fn medical_rules() -> RuleSet {
+    RuleSet::parse(
+        "+, doctor, //patient\n\
+         -, doctor, //patient/ssn\n\
+         +, secretary, //patient/name\n\
+         +, secretary, //patient/address\n\
+         +, researcher, //diagnosis\n\
+         +, auditor, //acts/act[@type = \"surgery\"]/report",
+    )
+    .expect("static rule set parses")
+}
+
+/// A synthetic pool of `n` rules of growing variety for one subject, used by
+/// the E1 scaling experiment.
+pub fn rule_pool(n: usize) -> RuleSet {
+    const OBJECTS: &[&str] = &[
+        "//patient/name",
+        "//patient/ssn",
+        "//patient/address",
+        "//diagnosis/item",
+        "//acts/act/report",
+        "//acts/act[@type = \"surgery\"]",
+        "//prescriptions/prescription/drug",
+        "//patient[diagnosis/item/@sensitive = \"true\"]/name",
+        "//act/physician",
+        "//act/date",
+        "//patient//report",
+        "/hospital/patient",
+    ];
+    let mut rules = RuleSet::new();
+    for i in 0..n {
+        let sign = if i % 4 == 3 { Sign::Deny } else { Sign::Permit };
+        rules
+            .push(sign, "subject", OBJECTS[i % OBJECTS.len()])
+            .expect("pool rule parses");
+    }
+    rules
+}
+
+/// Evaluates a plaintext event stream for one subject (no crypto): the E1/E9
+/// kernel.
+pub fn evaluate_plain(events: &[Event], rules: &RuleSet, subject: &str) -> usize {
+    let config = EvaluatorConfig::new(rules.clone(), subject);
+    let (out, _) = StreamingEvaluator::evaluate_all(&config, events).expect("evaluation succeeds");
+    out.len()
+}
+
+/// Runs the full secure pipeline for one subject and returns its statistics.
+pub fn run_secure(
+    document: &SecureDocument,
+    rules: &RuleSet,
+    subject: &str,
+    query: Option<&str>,
+    use_skip_index: bool,
+) -> SessionStats {
+    let mut evaluator = EvaluatorConfig::new(rules.clone(), subject);
+    if let Some(q) = query {
+        evaluator = evaluator.with_query(Query::parse(q).expect("query parses"));
+    }
+    let mut config = EngineConfig::new(evaluator);
+    config.use_skip_index = use_skip_index;
+    let (_, stats) =
+        evaluate_secure_document(document, &bench_key(), config).expect("secure evaluation succeeds");
+    stats
+}
+
+/// Convenience: simulated e-gate latency (seconds) of a session.
+pub fn egate_seconds(stats: &SessionStats) -> f64 {
+    stats.ledger.breakdown(&CostModel::egate()).total().as_secs_f64()
+}
+
+/// A dissemination stream of `items` items.
+pub fn stream(items: usize) -> Document {
+    generator::stream(
+        &generator::StreamProfile {
+            items,
+            payload_len: 128,
+            ..generator::StreamProfile::default()
+        },
+        &GeneratorConfig::default(),
+    )
+}
+
+/// Parental-control rules of the dissemination subscriber.
+pub fn parental_rules() -> (RuleSet, AccessPolicy) {
+    (
+        RuleSet::parse("-, child, //item[rating > 12]").expect("parses"),
+        AccessPolicy::open(),
+    )
+}

@@ -1,0 +1,173 @@
+//! Terminal ↔ card communication channel model.
+//!
+//! The e-gate card of the demo exchanges data at roughly **2 KB/s** over the
+//! APDU link, which together with on-card decryption is one of "the two
+//! limiting factors of the target architecture" (§2.3). The channel model
+//! converts transferred bytes and APDU round-trips into simulated time and
+//! keeps byte counters in both directions, so that every experiment can report
+//! "bytes shipped to the card" and "time spent on the wire" exactly.
+
+use std::time::Duration;
+
+/// Static parameters of a channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelModel {
+    /// Sustained throughput, bytes per second.
+    pub bytes_per_second: f64,
+    /// Fixed latency charged per APDU exchange (command + response pair).
+    pub per_apdu_latency: Duration,
+    /// Maximum data payload per APDU.
+    pub max_apdu_data: usize,
+}
+
+impl ChannelModel {
+    /// The e-gate profile of the demo: 2 KB/s, 2 ms per exchange, short APDUs.
+    pub fn egate() -> Self {
+        ChannelModel {
+            bytes_per_second: 2048.0,
+            per_apdu_latency: Duration::from_millis(2),
+            max_apdu_data: 255,
+        }
+    }
+
+    /// A contact-less / USB-class channel (two orders of magnitude faster),
+    /// used in the ablation that asks how much of the skip-index benefit
+    /// remains when the channel stops being the bottleneck.
+    pub fn usb() -> Self {
+        ChannelModel {
+            bytes_per_second: 1_000_000.0,
+            per_apdu_latency: Duration::from_micros(100),
+            max_apdu_data: 255,
+        }
+    }
+
+    /// An idealised infinite channel (costs nothing), isolating on-card costs.
+    pub fn infinite() -> Self {
+        ChannelModel {
+            bytes_per_second: f64::INFINITY,
+            per_apdu_latency: Duration::ZERO,
+            max_apdu_data: 255,
+        }
+    }
+
+    /// Time needed to push `bytes` through the channel in `apdus` exchanges.
+    pub fn transfer_time(&self, bytes: usize, apdus: usize) -> Duration {
+        let wire = if self.bytes_per_second.is_finite() && self.bytes_per_second > 0.0 {
+            Duration::from_secs_f64(bytes as f64 / self.bytes_per_second)
+        } else {
+            Duration::ZERO
+        };
+        wire + self.per_apdu_latency * apdus as u32
+    }
+
+    /// Number of APDUs needed to move `bytes` of payload in one direction.
+    pub fn apdus_for(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.max_apdu_data)
+        }
+    }
+}
+
+/// Byte and APDU counters of a session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelMeter {
+    /// Payload bytes sent from the terminal to the card.
+    pub bytes_to_card: usize,
+    /// Payload bytes sent from the card to the terminal.
+    pub bytes_from_card: usize,
+    /// Number of APDU exchanges.
+    pub apdu_exchanges: usize,
+}
+
+impl ChannelMeter {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        ChannelMeter::default()
+    }
+
+    /// Records one exchange of `to_card` payload bytes and `from_card`
+    /// response bytes.
+    pub fn record_exchange(&mut self, to_card: usize, from_card: usize) {
+        self.bytes_to_card += to_card;
+        self.bytes_from_card += from_card;
+        self.apdu_exchanges += 1;
+    }
+
+    /// Total payload bytes in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_to_card + self.bytes_from_card
+    }
+
+    /// Simulated time spent on the wire under `model`.
+    pub fn elapsed(&self, model: &ChannelModel) -> Duration {
+        model.transfer_time(self.total_bytes(), self.apdu_exchanges)
+    }
+
+    /// Merges another meter into this one (used when aggregating sessions).
+    pub fn merge(&mut self, other: &ChannelMeter) {
+        self.bytes_to_card += other.bytes_to_card;
+        self.bytes_from_card += other.bytes_from_card;
+        self.apdu_exchanges += other.apdu_exchanges;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn egate_is_two_kilobytes_per_second() {
+        let m = ChannelModel::egate();
+        let t = m.transfer_time(2048, 0);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        // 10 APDUs add 20 ms.
+        let t = m.transfer_time(0, 10);
+        assert_eq!(t, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn infinite_channel_costs_nothing() {
+        let m = ChannelModel::infinite();
+        assert_eq!(m.transfer_time(1 << 20, 1000), Duration::ZERO);
+    }
+
+    #[test]
+    fn apdu_count_rounds_up() {
+        let m = ChannelModel::egate();
+        assert_eq!(m.apdus_for(0), 1);
+        assert_eq!(m.apdus_for(1), 1);
+        assert_eq!(m.apdus_for(255), 1);
+        assert_eq!(m.apdus_for(256), 2);
+        assert_eq!(m.apdus_for(1000), 4);
+    }
+
+    #[test]
+    fn meter_accumulates_and_merges() {
+        let mut a = ChannelMeter::new();
+        a.record_exchange(100, 20);
+        a.record_exchange(255, 0);
+        assert_eq!(a.bytes_to_card, 355);
+        assert_eq!(a.bytes_from_card, 20);
+        assert_eq!(a.apdu_exchanges, 2);
+        assert_eq!(a.total_bytes(), 375);
+
+        let mut b = ChannelMeter::new();
+        b.record_exchange(5, 5);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 385);
+        assert_eq!(a.apdu_exchanges, 3);
+
+        let elapsed = a.elapsed(&ChannelModel::egate());
+        assert!(elapsed > Duration::from_millis(6));
+    }
+
+    #[test]
+    fn usb_is_faster_than_egate() {
+        let bytes = 100_000;
+        let egate = ChannelModel::egate();
+        let usb = ChannelModel::usb();
+        assert!(usb.transfer_time(bytes, 10) < egate.transfer_time(bytes, 10));
+    }
+}

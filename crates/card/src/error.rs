@@ -1,0 +1,115 @@
+//! Error type of the SOE emulator.
+
+use std::fmt;
+
+/// Errors raised by the card runtime and its resource budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CardError {
+    /// The secure working memory budget would be exceeded.
+    RamExceeded {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes currently in use.
+        in_use: usize,
+        /// Total budget.
+        budget: usize,
+    },
+    /// The secure stable storage (EEPROM) budget would be exceeded.
+    EepromExceeded {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently in use.
+        in_use: usize,
+        /// Total budget.
+        budget: usize,
+    },
+    /// An APDU payload exceeds the maximum the channel supports.
+    ApduTooLong {
+        /// Payload length.
+        len: usize,
+        /// Maximum supported length.
+        max: usize,
+    },
+    /// A malformed APDU was received.
+    MalformedApdu {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The applet refused the command (wrong state, missing key, tampered
+    /// input...). Carries the ISO 7816 status word to return.
+    Refused {
+        /// Status word to return to the terminal.
+        status: u16,
+        /// Human readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CardError::RamExceeded {
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "secure RAM exceeded: requested {requested} B with {in_use}/{budget} B in use"
+            ),
+            CardError::EepromExceeded {
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "EEPROM exceeded: requested {requested} B with {in_use}/{budget} B in use"
+            ),
+            CardError::ApduTooLong { len, max } => {
+                write!(f, "APDU payload of {len} B exceeds the maximum of {max} B")
+            }
+            CardError::MalformedApdu { message } => write!(f, "malformed APDU: {message}"),
+            CardError::Refused { status, reason } => {
+                write!(f, "command refused (SW=0x{status:04X}): {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_figures() {
+        let e = CardError::RamExceeded {
+            requested: 128,
+            in_use: 900,
+            budget: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("128") && s.contains("900") && s.contains("1024"));
+
+        let e = CardError::Refused {
+            status: 0x6982,
+            reason: "no key".into(),
+        };
+        assert!(e.to_string().contains("6982"));
+        assert!(CardError::ApduTooLong { len: 300, max: 255 }
+            .to_string()
+            .contains("300"));
+        assert!(CardError::MalformedApdu {
+            message: "short".into()
+        }
+        .to_string()
+        .contains("short"));
+        assert!(CardError::EepromExceeded {
+            requested: 1,
+            in_use: 2,
+            budget: 3
+        }
+        .to_string()
+        .contains("EEPROM"));
+    }
+}

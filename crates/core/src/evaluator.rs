@@ -1,0 +1,351 @@
+//! Facade tying the automata engine and the view assembler together.
+//!
+//! [`StreamingEvaluator`] is the component the paper calls the *access rights
+//! evaluator*: events in, authorized events out, with a working set bounded by
+//! the document depth, the number of active rule states and the pending
+//! buffer. It is used directly on unencrypted event streams (tests, baselines,
+//! dissemination filtering on a trusted gateway) and embedded by
+//! [`crate::engine`] inside the SOE for encrypted documents.
+
+use sdds_xml::Event;
+
+use crate::assembler::{AssemblerStats, ViewAssembler};
+use crate::conflict::{AccessPolicy, Decision};
+use crate::error::CoreError;
+use crate::query::Query;
+use crate::rule::{RuleSet, Subject};
+use crate::runtime::{EngineRule, EngineStats, RuleEngine};
+
+/// Configuration of a streaming evaluation session.
+#[derive(Debug, Clone)]
+pub struct EvaluatorConfig {
+    /// The rules granted to the subject of the session.
+    pub rules: RuleSet,
+    /// The subject the session runs for (rules of other subjects in
+    /// [`EvaluatorConfig::rules`] are ignored).
+    pub subject: Subject,
+    /// Optional query restricting the delivered view.
+    pub query: Option<Query>,
+    /// Conflict-resolution policy.
+    pub policy: AccessPolicy,
+}
+
+impl EvaluatorConfig {
+    /// Creates a configuration for `subject` with the paper's default policy.
+    pub fn new(rules: RuleSet, subject: impl Into<String>) -> Self {
+        EvaluatorConfig {
+            rules,
+            subject: Subject::new(subject),
+            query: None,
+            policy: AccessPolicy::paper(),
+        }
+    }
+
+    /// Sets the query.
+    pub fn with_query(mut self, query: Query) -> Self {
+        self.query = Some(query);
+        self
+    }
+
+    /// Sets the policy.
+    pub fn with_policy(mut self, policy: AccessPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Combined statistics of an evaluation session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvaluatorStats {
+    /// Engine-side counters (token stack, predicate set).
+    pub engine: EngineStats,
+    /// Assembler-side counters (decisions, scaffolding, pending buffer).
+    pub assembler: AssemblerStats,
+    /// Input events consumed.
+    pub events_in: usize,
+    /// Output events produced.
+    pub events_out: usize,
+}
+
+impl EvaluatorStats {
+    /// Peak secure-RAM footprint of the whole evaluator, in bytes.
+    pub fn peak_ram_bytes(&self) -> usize {
+        // Engine and assembler peaks are tracked independently but coexist;
+        // summing them is the conservative estimate charged to the card.
+        self.engine.peak_ram_bytes + self.assembler.peak_ram_bytes
+    }
+}
+
+/// The streaming access-rights evaluator.
+#[derive(Debug)]
+pub struct StreamingEvaluator {
+    engine: RuleEngine,
+    assembler: ViewAssembler,
+    events_in: usize,
+    events_out: usize,
+}
+
+impl StreamingEvaluator {
+    /// Builds an evaluator from a configuration. Rules that do not concern the
+    /// configured subject are ignored; rules outside the streaming fragment
+    /// are reported as errors.
+    pub fn new(config: &EvaluatorConfig) -> Result<Self, CoreError> {
+        let mut compiled = Vec::new();
+        for rule in config.rules.for_subject(&config.subject) {
+            compiled.push(EngineRule::compile(rule)?);
+        }
+        let query = config.query.as_ref().map(|q| q.compiled().clone());
+        let has_query = query.is_some();
+        Ok(StreamingEvaluator {
+            engine: RuleEngine::new(compiled, query),
+            assembler: ViewAssembler::new(config.policy, has_query),
+            events_in: 0,
+            events_out: 0,
+        })
+    }
+
+    /// Number of rules installed for the session's subject.
+    pub fn rule_count(&self) -> usize {
+        self.engine.rules().len()
+    }
+
+    /// Feeds one event and returns the authorized events that became ready.
+    pub fn push(&mut self, event: &Event) -> Vec<Event> {
+        self.events_in += 1;
+        for output in self.engine.process(event) {
+            self.assembler.push(output);
+        }
+        let ready = self.assembler.take_ready();
+        self.events_out += ready.len();
+        ready
+    }
+
+    /// Effective decision and query scope of the innermost open element when
+    /// no decision is pending (used by the skip logic).
+    pub fn current_context(&self) -> Option<(Decision, bool)> {
+        self.assembler.current_context()
+    }
+
+    /// Active navigational positions per rule (skip-index satisfiability).
+    pub fn active_rule_positions(&self) -> Vec<Vec<usize>> {
+        self.engine.active_positions()
+    }
+
+    /// Active navigational positions of the query automaton.
+    pub fn active_query_positions(&self) -> Vec<usize> {
+        self.engine.active_query_positions()
+    }
+
+    /// True while at least one predicate instance is unresolved.
+    pub fn has_pending(&self) -> bool {
+        self.engine.has_unresolved_instances() || !self.assembler.is_drained()
+    }
+
+    /// Current secure-RAM footprint of the evaluator, in bytes.
+    pub fn ram_bytes(&self) -> usize {
+        self.engine.ram_bytes() + self.assembler.ram_bytes()
+    }
+
+    /// Finishes the stream, returning any remaining authorized events and the
+    /// session statistics.
+    pub fn finish(self) -> Result<(Vec<Event>, EvaluatorStats), CoreError> {
+        let engine_stats = self.engine.stats();
+        let events_in = self.events_in;
+        let mut events_out = self.events_out;
+        let (rest, assembler_stats) = self.assembler.finish()?;
+        events_out += rest.len();
+        Ok((
+            rest,
+            EvaluatorStats {
+                engine: engine_stats,
+                assembler: assembler_stats,
+                events_in,
+                events_out,
+            },
+        ))
+    }
+
+    /// Convenience helper: evaluates a whole event stream and returns the
+    /// authorized view and the statistics.
+    pub fn evaluate_all(
+        config: &EvaluatorConfig,
+        events: &[Event],
+    ) -> Result<(Vec<Event>, EvaluatorStats), CoreError> {
+        let mut evaluator = StreamingEvaluator::new(config)?;
+        let mut out = Vec::new();
+        for event in events {
+            out.extend(evaluator.push(event));
+        }
+        let (rest, stats) = evaluator.finish()?;
+        out.extend(rest);
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_xml::{writer, Parser};
+
+    fn medical_rules() -> RuleSet {
+        RuleSet::parse(
+            "+, doctor, //patient\n\
+             -, doctor, //patient/ssn\n\
+             +, secretary, //patient/name\n\
+             +, secretary, //patient/address\n\
+             -, secretary, //patient/diagnosis\n\
+             +, researcher, //diagnosis",
+        )
+        .unwrap()
+    }
+
+    fn doc() -> String {
+        "<hospital>\
+           <patient id=\"P1\"><name>Alice</name><ssn>111</ssn><address>Paris</address>\
+             <diagnosis><item>flu</item></diagnosis></patient>\
+           <patient id=\"P2\"><name>Bob</name><ssn>222</ssn><address>Lyon</address>\
+             <diagnosis><item>cold</item></diagnosis></patient>\
+         </hospital>"
+            .to_owned()
+    }
+
+    fn view_for(subject: &str, query: Option<&str>) -> (String, EvaluatorStats) {
+        let mut config = EvaluatorConfig::new(medical_rules(), subject);
+        if let Some(q) = query {
+            config = config.with_query(Query::parse(q).unwrap());
+        }
+        let events = Parser::parse_all(&doc()).unwrap();
+        let (out, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+        (writer::to_string(&out), stats)
+    }
+
+    #[test]
+    fn doctor_sees_everything_but_ssn() {
+        let (view, stats) = view_for("doctor", None);
+        assert!(view.contains("<name>Alice</name>"));
+        assert!(view.contains("<diagnosis>"));
+        assert!(view.contains("<address>Paris</address>"));
+        assert!(!view.contains("111"));
+        assert!(!view.contains("222"));
+        // ssn elements are not even present as scaffolding (nothing inside them
+        // is authorized).
+        assert!(!view.contains("<ssn>"));
+        assert_eq!(stats.events_in, Parser::parse_all(&doc()).unwrap().len());
+        assert!(stats.events_out > 0);
+        assert!(stats.peak_ram_bytes() > 0);
+    }
+
+    #[test]
+    fn secretary_sees_administrative_data_only() {
+        let (view, _) = view_for("secretary", None);
+        assert!(view.contains("<name>Alice</name>"));
+        assert!(view.contains("<address>Lyon</address>"));
+        assert!(!view.contains("diagnosis"));
+        assert!(!view.contains("flu"));
+        assert!(!view.contains("111"));
+        // patient appears as scaffolding without its id attribute.
+        assert!(view.contains("<patient>"));
+        assert!(!view.contains("P1"));
+    }
+
+    #[test]
+    fn researcher_sees_anonymous_diagnosis_only() {
+        let (view, _) = view_for("researcher", None);
+        assert!(view.contains("<diagnosis><item>flu</item></diagnosis>"));
+        assert!(!view.contains("Alice"));
+        assert!(!view.contains("111"));
+        assert!(!view.contains("Paris"));
+    }
+
+    #[test]
+    fn unknown_subject_sees_nothing() {
+        let (view, stats) = view_for("intruder", None);
+        assert_eq!(view, "");
+        assert_eq!(stats.assembler.nodes_delivered, 0);
+    }
+
+    #[test]
+    fn query_intersects_with_access_rights() {
+        let (view, _) = view_for("doctor", Some("//patient[@id = \"P2\"]"));
+        assert!(view.contains("Bob"));
+        assert!(!view.contains("Alice"));
+        assert!(!view.contains("222")); // ssn stays denied even inside the query scope
+        let (view, _) = view_for("secretary", Some("//diagnosis"));
+        assert_eq!(view, ""); // the query targets denied data only
+    }
+
+    #[test]
+    fn rule_count_reflects_subject_filtering() {
+        let config = EvaluatorConfig::new(medical_rules(), "secretary");
+        let eval = StreamingEvaluator::new(&config).unwrap();
+        assert_eq!(eval.rule_count(), 3);
+        let config = EvaluatorConfig::new(medical_rules(), "researcher");
+        assert_eq!(StreamingEvaluator::new(&config).unwrap().rule_count(), 1);
+    }
+
+    #[test]
+    fn push_streams_output_incrementally() {
+        let config = EvaluatorConfig::new(medical_rules(), "doctor");
+        let mut eval = StreamingEvaluator::new(&config).unwrap();
+        let events = Parser::parse_all(&doc()).unwrap();
+        let mut produced_early = false;
+        let mut total = 0usize;
+        for (i, ev) in events.iter().enumerate() {
+            let out = eval.push(ev);
+            total += out.len();
+            if i < events.len() / 2 && !out.is_empty() {
+                produced_early = true;
+            }
+        }
+        assert!(produced_early, "output should stream before the end of input");
+        let (rest, stats) = eval.finish().unwrap();
+        total += rest.len();
+        assert_eq!(total, stats.events_out);
+    }
+
+    #[test]
+    fn ram_stays_bounded_relative_to_document_size() {
+        // The document grows 8x; the evaluator's working set must not.
+        let small = doc();
+        let mut large = String::from("<hospital>");
+        for _ in 0..8 {
+            large.push_str(&small["<hospital>".len()..small.len() - "</hospital>".len()]);
+        }
+        large.push_str("</hospital>");
+
+        let measure = |text: &str| {
+            let config = EvaluatorConfig::new(medical_rules(), "doctor");
+            let events = Parser::parse_all(text).unwrap();
+            let (_, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+            stats.peak_ram_bytes()
+        };
+        let small_peak = measure(&small);
+        let large_peak = measure(&large);
+        assert!(
+            large_peak <= small_peak * 2,
+            "peak RAM should not scale with document size (small {small_peak}, large {large_peak})"
+        );
+    }
+
+    #[test]
+    fn unparseable_rule_surfaces_at_construction() {
+        let mut rules = RuleSet::new();
+        rules.push(crate::rule::Sign::Permit, "bob", "//a[b[c]]").unwrap();
+        let config = EvaluatorConfig::new(rules, "bob");
+        assert!(StreamingEvaluator::new(&config).is_err());
+    }
+
+    #[test]
+    fn open_policy_with_negative_rules_only() {
+        let rules = RuleSet::parse("-, child, //item[rating > 12]").unwrap();
+        let config = EvaluatorConfig::new(rules, "child")
+            .with_policy(AccessPolicy::open());
+        let doc = "<stream><item><rating>7</rating><title>ok</title></item>\
+                   <item><rating>16</rating><title>blocked</title></item></stream>";
+        let events = Parser::parse_all(doc).unwrap();
+        let (out, _) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+        let view = writer::to_string(&out);
+        assert!(view.contains("ok"));
+        assert!(!view.contains("blocked"));
+    }
+}

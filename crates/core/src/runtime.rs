@@ -1,0 +1,981 @@
+//! Streaming execution of the rule automata (§2.3).
+//!
+//! "When an open or a value event is received, all the automata are checked
+//! and go to their next state. Upon receiving a close event, all the automata
+//! backtrack. To manage these automata efficiently, we use a stack that keeps
+//! track of active states, materializing all the possible paths that can be
+//! followed on the non-deterministic automata. [...] This is controlled using
+//! a predicate set which records all the final states of predicates that have
+//! been reached. [...] the rule is said to be pending [...]"
+//!
+//! [`RuleEngine`] implements exactly that machinery:
+//!
+//! * the **token stack** is the per-depth [`Frame`] vector: every navigational
+//!   state activated by an element is recorded in that element's frame and
+//!   discarded when the element closes (backtracking),
+//! * the **predicate set** is the [`InstanceId`] space: every deferred
+//!   predicate encountered along a navigational run spawns a *pending
+//!   instance*, resolved to `true` when its predicate path reaches its final
+//!   state (and its value condition holds) or to `false` when its context
+//!   element closes,
+//! * **pending rules** are rule matches whose status is
+//!   [`MatchAlternatives`] with unresolved instances; the decision they imply
+//!   is deferred by the view assembler until the instances resolve.
+//!
+//! The engine does **not** decide anything by itself: it annotates the event
+//! stream with the rule/query matches of each node and emits instance
+//! resolutions; conflict resolution and view construction happen downstream in
+//! [`crate::assembler`], mirroring the sign-stack of the paper.
+
+use std::collections::HashMap;
+
+use sdds_xml::{Attribute, Event};
+use sdds_xpath::Axis;
+
+use crate::automaton::{CompiledPath, CompiledPredicate, RelStep, ValueCondition};
+use crate::rule::{AccessRule, RuleId, Sign};
+
+/// Identifier of a pending predicate instance (an entry of the paper's
+/// *predicate set*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u32);
+
+/// The alternatives under which a rule (or the query) matches a node: each
+/// alternative is a conjunction of pending instances that must all resolve to
+/// `true`; the match applies if **any** alternative holds. An empty
+/// conjunction means the match holds unconditionally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchAlternatives {
+    /// The alternatives.
+    pub alternatives: Vec<Vec<InstanceId>>,
+}
+
+impl MatchAlternatives {
+    /// Adds one alternative (a conjunction of instance ids).
+    pub fn add(&mut self, conjunction: Vec<InstanceId>) {
+        // An unconditional alternative makes every other alternative redundant.
+        if conjunction.is_empty() {
+            self.alternatives.clear();
+            self.alternatives.push(conjunction);
+        } else if !self.is_unconditional() {
+            self.alternatives.push(conjunction);
+        }
+    }
+
+    /// True if the match holds whatever the pending instances resolve to.
+    pub fn is_unconditional(&self) -> bool {
+        self.alternatives.iter().any(Vec::is_empty)
+    }
+
+    /// Evaluates the match against the currently known instance truths.
+    /// Returns `Some(true)` / `Some(false)` when determined, `None` while at
+    /// least one relevant instance is still unresolved.
+    pub fn evaluate(&self, truth: &dyn Fn(InstanceId) -> Option<bool>) -> Option<bool> {
+        let mut any_unknown = false;
+        for alt in &self.alternatives {
+            let mut all_true = true;
+            let mut unknown = false;
+            for &id in alt {
+                match truth(id) {
+                    Some(true) => {}
+                    Some(false) => {
+                        all_true = false;
+                        break;
+                    }
+                    None => {
+                        unknown = true;
+                        all_true = false;
+                    }
+                }
+            }
+            if all_true {
+                return Some(true);
+            }
+            if unknown {
+                any_unknown = true;
+            }
+        }
+        if any_unknown {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// All instance ids mentioned by the alternatives.
+    pub fn instance_ids(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.alternatives.iter().flatten().copied()
+    }
+}
+
+/// A rule that reached its navigational final state on a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectMatch {
+    /// The rule.
+    pub rule: RuleId,
+    /// Its sign.
+    pub sign: Sign,
+    /// Conditions under which the match actually applies.
+    pub matches: MatchAlternatives,
+}
+
+/// Per-node annotation produced by the engine for `open` events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeAnnotation {
+    /// Rules whose navigational path ends on this node.
+    pub direct: Vec<DirectMatch>,
+    /// Query match on this node, if a query is installed and its navigational
+    /// path ends here.
+    pub query: Option<MatchAlternatives>,
+}
+
+/// Output of the engine for one input event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOutput {
+    /// The input event, annotated for `open` events.
+    Annotated {
+        /// The event.
+        event: Event,
+        /// Node annotation (`Some` for `Open`, `None` otherwise).
+        annotation: Option<NodeAnnotation>,
+    },
+    /// A pending predicate instance was resolved.
+    Resolved {
+        /// The instance.
+        instance: InstanceId,
+        /// Whether the predicate is satisfied.
+        satisfied: bool,
+    },
+}
+
+/// What a navigational run belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Rule(usize),
+    Query,
+}
+
+/// An active navigational state: `position` steps of `target` are matched, the
+/// last of them by the element owning the frame this run is stored in.
+#[derive(Debug, Clone)]
+struct Run {
+    target: Target,
+    position: usize,
+    deps: Vec<InstanceId>,
+}
+
+/// An active state of a predicate path instance.
+#[derive(Debug, Clone)]
+struct PredRun {
+    instance: InstanceId,
+    position: usize,
+}
+
+/// Direct-text accumulator for a value condition (`[. = "v"]`, `[c = "v"]`).
+#[derive(Debug, Clone)]
+struct Watcher {
+    instance: InstanceId,
+    condition: Option<ValueCondition>,
+    buffer: String,
+    saw_text: bool,
+}
+
+/// Specification of a pending relative-path predicate instance.
+#[derive(Debug, Clone)]
+struct PredSpec {
+    steps: Vec<RelStep>,
+    attribute: Option<String>,
+    condition: Option<ValueCondition>,
+}
+
+/// Runtime state of a pending predicate instance.
+#[derive(Debug, Clone)]
+struct InstanceState {
+    resolved: Option<bool>,
+    #[allow(dead_code)]
+    context_depth: usize,
+    spec: Option<PredSpec>,
+}
+
+/// One entry of the token stack: everything activated by the element at the
+/// corresponding depth.
+#[derive(Debug, Default)]
+struct Frame {
+    name: String,
+    runs: Vec<Run>,
+    pred_runs: Vec<PredRun>,
+    watchers: Vec<Watcher>,
+    owned_instances: Vec<InstanceId>,
+}
+
+impl Frame {
+    fn ram_bytes(&self) -> usize {
+        self.name.len()
+            + self
+                .runs
+                .iter()
+                .map(|r| 8 + 4 * r.deps.len())
+                .sum::<usize>()
+            + self.pred_runs.len() * 8
+            + self
+                .watchers
+                .iter()
+                .map(|w| 8 + w.buffer.len())
+                .sum::<usize>()
+            + self.owned_instances.len() * 4
+    }
+}
+
+/// A rule installed in the engine.
+#[derive(Debug, Clone)]
+pub struct EngineRule {
+    /// Rule identifier.
+    pub id: RuleId,
+    /// Sign.
+    pub sign: Sign,
+    /// Compiled object path.
+    pub path: CompiledPath,
+}
+
+impl EngineRule {
+    /// Compiles an [`AccessRule`] for the engine.
+    pub fn compile(rule: &AccessRule) -> Result<Self, crate::error::CoreError> {
+        Ok(EngineRule {
+            id: rule.id,
+            sign: rule.sign,
+            path: crate::automaton::compile(&rule.object)?,
+        })
+    }
+}
+
+/// Counters exposed by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events processed.
+    pub events: usize,
+    /// Pending predicate instances created.
+    pub instances_created: usize,
+    /// Navigational state activations (token stack pushes).
+    pub run_activations: usize,
+    /// Peak secure-RAM footprint of the engine structures, in bytes.
+    pub peak_ram_bytes: usize,
+}
+
+/// The streaming automata engine.
+#[derive(Debug)]
+pub struct RuleEngine {
+    rules: Vec<EngineRule>,
+    query: Option<CompiledPath>,
+    frames: Vec<Frame>,
+    instances: Vec<InstanceState>,
+    stats: EngineStats,
+}
+
+impl RuleEngine {
+    /// Creates an engine for a set of compiled rules and an optional query.
+    pub fn new(rules: Vec<EngineRule>, query: Option<CompiledPath>) -> Self {
+        RuleEngine {
+            rules,
+            query,
+            // frames[0] is the virtual document node.
+            frames: vec![Frame::default()],
+            instances: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Installed rules.
+    pub fn rules(&self) -> &[EngineRule] {
+        &self.rules
+    }
+
+    /// Installed query automaton, if any.
+    pub fn query(&self) -> Option<&CompiledPath> {
+        self.query.as_ref()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Current element depth (0 before the root opens).
+    pub fn depth(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    /// Positions (numbers of matched navigational steps) currently active for
+    /// each installed rule, including the implicit initial position 0. The
+    /// skip-index logic uses these to ask whether a rule could still progress
+    /// inside an upcoming subtree.
+    pub fn active_positions(&self) -> Vec<Vec<usize>> {
+        let mut positions = vec![vec![0usize]; self.rules.len()];
+        for frame in &self.frames {
+            for run in &frame.runs {
+                if let Target::Rule(i) = run.target {
+                    if !positions[i].contains(&run.position) {
+                        positions[i].push(run.position);
+                    }
+                }
+            }
+        }
+        positions
+    }
+
+    /// Active positions of the query automaton (empty when no query is set).
+    pub fn active_query_positions(&self) -> Vec<usize> {
+        if self.query.is_none() {
+            return Vec::new();
+        }
+        let mut positions = vec![0usize];
+        for frame in &self.frames {
+            for run in &frame.runs {
+                if matches!(run.target, Target::Query) && !positions.contains(&run.position) {
+                    positions.push(run.position);
+                }
+            }
+        }
+        positions
+    }
+
+    /// True if at least one pending predicate instance is unresolved.
+    pub fn has_unresolved_instances(&self) -> bool {
+        self.instances.iter().any(|i| i.resolved.is_none())
+    }
+
+    /// Current secure-RAM footprint of the engine structures, in bytes.
+    pub fn ram_bytes(&self) -> usize {
+        let frames: usize = self.frames.iter().map(Frame::ram_bytes).sum();
+        let unresolved = self
+            .instances
+            .iter()
+            .filter(|i| i.resolved.is_none())
+            .count();
+        // One unresolved instance costs its spec (bounded by the rule size) +
+        // bookkeeping; resolved instances boil down to one bit in the
+        // predicate set.
+        frames + unresolved * 24 + self.instances.len() / 8
+    }
+
+    fn path_for(&self, target: Target) -> &CompiledPath {
+        match target {
+            Target::Rule(i) => &self.rules[i].path,
+            Target::Query => self.query.as_ref().expect("query target without query"),
+        }
+    }
+
+    fn resolve_instance(
+        &mut self,
+        id: InstanceId,
+        satisfied: bool,
+        outputs: &mut Vec<EngineOutput>,
+    ) {
+        let state = &mut self.instances[id.0 as usize];
+        if state.resolved.is_none() {
+            state.resolved = Some(satisfied);
+            outputs.push(EngineOutput::Resolved {
+                instance: id,
+                satisfied,
+            });
+        }
+    }
+
+    fn attribute_predicate_holds(pred: &CompiledPredicate, attrs: &[Attribute]) -> bool {
+        match pred {
+            CompiledPredicate::Attribute { name, condition } => {
+                match attrs.iter().find(|a| &a.name == name) {
+                    Some(attr) => condition
+                        .as_ref()
+                        .map(|c| c.holds(&attr.value))
+                        .unwrap_or(true),
+                    None => false,
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Creates the pending instances required by the deferred predicates of a
+    /// step matched by the element currently being opened (at depth `depth`).
+    fn spawn_instances(
+        &mut self,
+        deferred: &[CompiledPredicate],
+        depth: usize,
+        new_frame: &mut Frame,
+    ) -> Vec<InstanceId> {
+        let mut ids = Vec::with_capacity(deferred.len());
+        for pred in deferred {
+            let id = InstanceId(self.instances.len() as u32);
+            self.stats.instances_created += 1;
+            match pred {
+                CompiledPredicate::SelfText { condition } => {
+                    self.instances.push(InstanceState {
+                        resolved: None,
+                        context_depth: depth,
+                        spec: None,
+                    });
+                    new_frame.watchers.push(Watcher {
+                        instance: id,
+                        condition: condition.clone(),
+                        buffer: String::new(),
+                        saw_text: false,
+                    });
+                }
+                CompiledPredicate::RelPath {
+                    steps,
+                    attribute,
+                    condition,
+                } => {
+                    self.instances.push(InstanceState {
+                        resolved: None,
+                        context_depth: depth,
+                        spec: Some(PredSpec {
+                            steps: steps.clone(),
+                            attribute: attribute.clone(),
+                            condition: condition.clone(),
+                        }),
+                    });
+                    // The initial state of the predicate path lives in the
+                    // context element's frame.
+                    new_frame.pred_runs.push(PredRun {
+                        instance: id,
+                        position: 0,
+                    });
+                }
+                CompiledPredicate::Attribute { .. } => {
+                    unreachable!("attribute predicates are immediate")
+                }
+            }
+            new_frame.owned_instances.push(id);
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Processes one event and returns the engine outputs it triggers.
+    pub fn process(&mut self, event: &Event) -> Vec<EngineOutput> {
+        self.stats.events += 1;
+        let mut outputs = Vec::new();
+        match event {
+            Event::Open { name, attrs } => self.process_open(name, attrs, event, &mut outputs),
+            Event::Text(text) => self.process_text(text, event, &mut outputs),
+            Event::Close(_) => self.process_close(event, &mut outputs),
+        }
+        self.stats.peak_ram_bytes = self.stats.peak_ram_bytes.max(self.ram_bytes());
+        outputs
+    }
+
+    fn process_open(
+        &mut self,
+        name: &str,
+        attrs: &[Attribute],
+        event: &Event,
+        outputs: &mut Vec<EngineOutput>,
+    ) {
+        let depth = self.frames.len(); // depth of the element being opened
+        let mut new_frame = Frame {
+            name: name.to_owned(),
+            ..Frame::default()
+        };
+
+        // ------------------------------------------------------------------
+        // 1. Navigational transitions.
+        // ------------------------------------------------------------------
+        // Candidate runs: the implicit initial state (position 0 at the
+        // virtual document depth 0) for every automaton, plus every run stored
+        // in an open ancestor's frame.
+        let mut candidates: Vec<(Target, usize, usize, Vec<InstanceId>)> = Vec::new();
+        for i in 0..self.rules.len() {
+            candidates.push((Target::Rule(i), 0, 0, Vec::new()));
+        }
+        if self.query.is_some() {
+            candidates.push((Target::Query, 0, 0, Vec::new()));
+        }
+        for (frame_depth, frame) in self.frames.iter().enumerate() {
+            for run in &frame.runs {
+                candidates.push((run.target, run.position, frame_depth, run.deps.clone()));
+            }
+        }
+
+        let mut direct: HashMap<usize, MatchAlternatives> = HashMap::new();
+        let mut query_match: Option<MatchAlternatives> = None;
+
+        for (target, position, run_depth, deps) in candidates {
+            let path = self.path_for(target);
+            if position >= path.steps.len() {
+                continue;
+            }
+            let step = &path.steps[position];
+            let axis_ok = match step.axis {
+                Axis::Child => run_depth == depth - 1,
+                Axis::Descendant => run_depth <= depth - 1,
+            };
+            if !axis_ok || !step.test.matches(name) {
+                continue;
+            }
+            if !step
+                .immediate
+                .iter()
+                .all(|p| Self::attribute_predicate_holds(p, attrs))
+            {
+                continue;
+            }
+            // Clone the deferred predicates up front to end the borrow of
+            // `self` held through `path`.
+            let deferred: Vec<CompiledPredicate> = step.deferred.clone();
+            let path_len = path.steps.len();
+            let new_ids = self.spawn_instances(&deferred, depth, &mut new_frame);
+            let mut new_deps = deps.clone();
+            new_deps.extend(new_ids);
+
+            if position + 1 == path_len {
+                // Final navigational state reached: the rule/query matches this
+                // node, possibly conditionally.
+                match target {
+                    Target::Rule(i) => {
+                        direct.entry(i).or_default().add(new_deps.clone());
+                    }
+                    Target::Query => {
+                        query_match
+                            .get_or_insert_with(MatchAlternatives::default)
+                            .add(new_deps.clone());
+                    }
+                }
+            }
+            if position + 1 < path_len {
+                self.stats.run_activations += 1;
+                new_frame.runs.push(Run {
+                    target,
+                    position: position + 1,
+                    deps: new_deps,
+                });
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // 2. Predicate-path transitions.
+        // ------------------------------------------------------------------
+        let mut pred_candidates: Vec<(InstanceId, usize, usize)> = Vec::new();
+        for (frame_depth, frame) in self.frames.iter().enumerate() {
+            for pr in &frame.pred_runs {
+                if self.instances[pr.instance.0 as usize].resolved.is_none() {
+                    pred_candidates.push((pr.instance, pr.position, frame_depth));
+                }
+            }
+        }
+        for (instance, position, run_depth) in pred_candidates {
+            let Some(spec) = self.instances[instance.0 as usize].spec.clone() else {
+                continue;
+            };
+            if position >= spec.steps.len() {
+                continue;
+            }
+            let step = &spec.steps[position];
+            let axis_ok = match step.axis {
+                Axis::Child => run_depth == depth - 1,
+                Axis::Descendant => run_depth <= depth - 1,
+            };
+            if !axis_ok || !step.test.matches(name) {
+                continue;
+            }
+            if position + 1 == spec.steps.len() {
+                // Final state of the predicate path reached on this element.
+                if let Some(attr_name) = &spec.attribute {
+                    if let Some(attr) = attrs.iter().find(|a| &a.name == attr_name) {
+                        let ok = spec
+                            .condition
+                            .as_ref()
+                            .map(|c| c.holds(&attr.value))
+                            .unwrap_or(true);
+                        if ok {
+                            self.resolve_instance(instance, true, outputs);
+                        }
+                    }
+                } else if spec.condition.is_none() {
+                    // Pure existence test.
+                    self.resolve_instance(instance, true, outputs);
+                } else {
+                    // A value condition on the element's direct text: watch it.
+                    new_frame.watchers.push(Watcher {
+                        instance,
+                        condition: spec.condition.clone(),
+                        buffer: String::new(),
+                        saw_text: false,
+                    });
+                }
+            } else {
+                new_frame.pred_runs.push(PredRun {
+                    instance,
+                    position: position + 1,
+                });
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // 3. Assemble the annotation and push the frame.
+        // ------------------------------------------------------------------
+        let mut annotation = NodeAnnotation {
+            direct: Vec::with_capacity(direct.len()),
+            query: query_match,
+        };
+        let mut rule_indexes: Vec<usize> = direct.keys().copied().collect();
+        rule_indexes.sort_unstable();
+        for i in rule_indexes {
+            let matches = direct.remove(&i).expect("key collected above");
+            annotation.direct.push(DirectMatch {
+                rule: self.rules[i].id,
+                sign: self.rules[i].sign,
+                matches,
+            });
+        }
+        self.frames.push(new_frame);
+        outputs.push(EngineOutput::Annotated {
+            event: event.clone(),
+            annotation: Some(annotation),
+        });
+    }
+
+    fn process_text(&mut self, text: &str, event: &Event, outputs: &mut Vec<EngineOutput>) {
+        // Feed the watchers of the element directly containing this text.
+        let depth = self.frames.len() - 1;
+        let mut resolved_now: Vec<(InstanceId, bool)> = Vec::new();
+        if depth >= 1 {
+            let frame = &mut self.frames[depth];
+            for w in &mut frame.watchers {
+                if self.instances[w.instance.0 as usize].resolved.is_some() {
+                    continue;
+                }
+                w.buffer.push_str(text);
+                w.saw_text = true;
+                if w.condition.is_none() && !text.trim().is_empty() {
+                    // Existence of direct text is enough.
+                    resolved_now.push((w.instance, true));
+                }
+            }
+        }
+        for (id, value) in resolved_now {
+            self.resolve_instance(id, value, outputs);
+        }
+        outputs.push(EngineOutput::Annotated {
+            event: event.clone(),
+            annotation: None,
+        });
+    }
+
+    fn process_close(&mut self, event: &Event, outputs: &mut Vec<EngineOutput>) {
+        let frame = self.frames.pop().expect("close without a matching open");
+        // Evaluate the direct-text watchers anchored on the closing element.
+        for w in &frame.watchers {
+            if self.instances[w.instance.0 as usize].resolved.is_some() {
+                continue;
+            }
+            if let Some(condition) = &w.condition {
+                if w.saw_text && condition.holds(&w.buffer) {
+                    self.resolve_instance(w.instance, true, outputs);
+                }
+                // A failed candidate does not fail the instance: another
+                // element matched by the predicate path may still satisfy it.
+            }
+        }
+        // Instances whose context element closes without having been satisfied
+        // are now definitely unsatisfied.
+        for id in &frame.owned_instances {
+            self.resolve_instance(*id, false, outputs);
+        }
+        outputs.push(EngineOutput::Annotated {
+            event: event.clone(),
+            annotation: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::compile_str;
+    use sdds_xml::Parser;
+
+    fn engine_for(rules: &[(&str, Sign)], query: Option<&str>) -> RuleEngine {
+        let compiled: Vec<EngineRule> = rules
+            .iter()
+            .enumerate()
+            .map(|(i, (expr, sign))| EngineRule {
+                id: RuleId(i as u32),
+                sign: *sign,
+                path: compile_str(expr).unwrap(),
+            })
+            .collect();
+        RuleEngine::new(compiled, query.map(|q| compile_str(q).unwrap()))
+    }
+
+    fn run(engine: &mut RuleEngine, doc: &str) -> Vec<EngineOutput> {
+        let events = Parser::parse_all(doc).unwrap();
+        events.iter().flat_map(|e| engine.process(e)).collect()
+    }
+
+    /// Collects, for each element (in document order), the rules that matched
+    /// unconditionally on it.
+    fn unconditional_matches(outputs: &[EngineOutput]) -> Vec<(String, Vec<u32>)> {
+        let mut out = Vec::new();
+        for o in outputs {
+            if let EngineOutput::Annotated {
+                event: Event::Open { name, .. },
+                annotation: Some(ann),
+            } = o
+            {
+                let rules: Vec<u32> = ann
+                    .direct
+                    .iter()
+                    .filter(|d| d.matches.is_unconditional())
+                    .map(|d| d.rule.0)
+                    .collect();
+                out.push((name.clone(), rules));
+            }
+        }
+        out
+    }
+
+    fn resolutions(outputs: &[EngineOutput]) -> Vec<(u32, bool)> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                EngineOutput::Resolved {
+                    instance,
+                    satisfied,
+                } => Some((instance.0, *satisfied)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_child_path_matches_expected_nodes() {
+        let mut e = engine_for(&[("/a/b", Sign::Permit)], None);
+        let out = run(&mut e, "<a><b/><c><b/></c><b/></a>");
+        let matches = unconditional_matches(&out);
+        // Only the two b children of a match /a/b; the nested one does not.
+        assert_eq!(
+            matches,
+            vec![
+                ("a".into(), vec![]),
+                ("b".into(), vec![0]),
+                ("c".into(), vec![]),
+                ("b".into(), vec![]),
+                ("b".into(), vec![0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn descendant_and_wildcard_paths() {
+        let mut e = engine_for(&[("//b", Sign::Permit), ("/a/*", Sign::Deny)], None);
+        let out = run(&mut e, "<a><b><b/></b><c/></a>");
+        let matches = unconditional_matches(&out);
+        assert_eq!(
+            matches,
+            vec![
+                ("a".into(), vec![]),
+                ("b".into(), vec![0, 1]), // //b and /a/*
+                ("b".into(), vec![0]),    // //b only (not a child of a)
+                ("c".into(), vec![1]),    // /a/* only
+            ]
+        );
+    }
+
+    #[test]
+    fn attribute_predicates_filter_matches_immediately() {
+        let mut e = engine_for(&[("//item[@sensitive = \"true\"]", Sign::Deny)], None);
+        let out = run(
+            &mut e,
+            "<r><item sensitive=\"true\"/><item sensitive=\"false\"/><item/></r>",
+        );
+        let matches = unconditional_matches(&out);
+        assert_eq!(matches[1].1, vec![0]);
+        assert!(matches[2].1.is_empty());
+        assert!(matches[3].1.is_empty());
+        // No pending instance was needed.
+        assert_eq!(e.stats().instances_created, 0);
+    }
+
+    #[test]
+    fn figure2_rule_is_pending_until_predicate_resolves() {
+        // //b[c]/d with the c arriving *after* d: the match on d must be
+        // conditional, and the instance must resolve to true later.
+        let mut e = engine_for(&[("//b[c]/d", Sign::Permit)], None);
+        let out = run(&mut e, "<r><b><d>x</d><c/></b></r>");
+        // The d node match is conditional (no unconditional match recorded).
+        let matches = unconditional_matches(&out);
+        assert!(matches.iter().all(|(_, rules)| rules.is_empty()));
+        // One instance created, resolved true when c opens.
+        assert_eq!(e.stats().instances_created, 1);
+        assert_eq!(resolutions(&out), vec![(0, true)]);
+        // And the conditional match on d references that instance.
+        let d_annotation = out
+            .iter()
+            .find_map(|o| match o {
+                EngineOutput::Annotated {
+                    event: Event::Open { name, .. },
+                    annotation: Some(ann),
+                } if name == "d" => Some(ann.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(d_annotation.direct.len(), 1);
+        assert_eq!(
+            d_annotation.direct[0].matches.alternatives,
+            vec![vec![InstanceId(0)]]
+        );
+    }
+
+    #[test]
+    fn unsatisfied_predicate_resolves_false_at_context_close() {
+        let mut e = engine_for(&[("//b[c]/d", Sign::Permit)], None);
+        let out = run(&mut e, "<r><b><d>x</d></b><b><c/><d>y</d></b></r>");
+        // First b: no c => instance resolves false at </b>.
+        // Second b: c present => instance resolves true; d match conditional on it.
+        let res = resolutions(&out);
+        assert!(res.contains(&(0, false)));
+        assert!(res.contains(&(1, true)));
+        assert_eq!(e.stats().instances_created, 2);
+    }
+
+    #[test]
+    fn value_condition_on_element_text() {
+        let mut e = engine_for(&[("//act[date = \"2004\"]/report", Sign::Permit)], None);
+        let out = run(
+            &mut e,
+            "<r><act><date>2004</date><report>a</report></act><act><date>2005</date><report>b</report></act></r>",
+        );
+        let res = resolutions(&out);
+        // First act: date text matches => true. Second act: never satisfied =>
+        // false at </act>.
+        assert!(res.contains(&(0, true)));
+        assert!(res.contains(&(1, false)));
+    }
+
+    #[test]
+    fn self_text_condition() {
+        let mut e = engine_for(&[("//rating[. <= 12]", Sign::Deny)], None);
+        let out = run(&mut e, "<r><rating>7</rating><rating>16</rating></r>");
+        let res = resolutions(&out);
+        assert!(res.contains(&(0, true)));
+        assert!(res.contains(&(1, false)));
+    }
+
+    #[test]
+    fn query_matches_are_annotated_separately() {
+        let mut e = engine_for(&[("//b", Sign::Permit)], Some("//c"));
+        let out = run(&mut e, "<a><b/><c/></a>");
+        let mut saw_query = false;
+        for o in &out {
+            if let EngineOutput::Annotated {
+                event: Event::Open { name, .. },
+                annotation: Some(ann),
+            } = o
+            {
+                if name == "c" {
+                    assert!(ann.query.as_ref().unwrap().is_unconditional());
+                    saw_query = true;
+                } else {
+                    assert!(ann.query.is_none());
+                }
+            }
+        }
+        assert!(saw_query);
+        assert_eq!(e.active_query_positions(), vec![0]);
+    }
+
+    #[test]
+    fn active_positions_reflect_partial_matches() {
+        let mut e = engine_for(&[("/a/b/c", Sign::Permit)], None);
+        let events = Parser::parse_all("<a><b><c/></b></a>").unwrap();
+        e.process(&events[0]); // <a>
+        assert_eq!(e.active_positions(), vec![vec![0, 1]]);
+        e.process(&events[1]); // <b>
+        assert_eq!(e.active_positions(), vec![vec![0, 1, 2]]);
+        e.process(&events[2]); // <c>
+        e.process(&events[3]); // </c>
+        e.process(&events[4]); // </b>
+        assert_eq!(e.active_positions(), vec![vec![0, 1]]);
+        e.process(&events[5]); // </a>
+        assert_eq!(e.active_positions(), vec![vec![0]]);
+        assert_eq!(e.depth(), 0);
+    }
+
+    #[test]
+    fn backtracking_discards_runs_created_in_closed_subtrees() {
+        let mut e = engine_for(&[("//b//d", Sign::Permit)], None);
+        let out = run(&mut e, "<a><b><x/></b><d/></a>");
+        // The d element is NOT under a b (the b closed before), so no match.
+        let matches = unconditional_matches(&out);
+        assert!(matches.iter().all(|(_, rules)| rules.is_empty()));
+    }
+
+    #[test]
+    fn match_alternatives_evaluation() {
+        let mut m = MatchAlternatives::default();
+        m.add(vec![InstanceId(0), InstanceId(1)]);
+        m.add(vec![InstanceId(2)]);
+        let truth = |known: Vec<(u32, bool)>| {
+            move |id: InstanceId| known.iter().find(|(i, _)| *i == id.0).map(|(_, v)| *v)
+        };
+        assert_eq!(m.evaluate(&truth(vec![])), None);
+        assert_eq!(m.evaluate(&truth(vec![(0, true), (1, true)])), Some(true));
+        assert_eq!(m.evaluate(&truth(vec![(2, true)])), Some(true));
+        assert_eq!(
+            m.evaluate(&truth(vec![(0, false), (2, false)])),
+            Some(false)
+        );
+        assert_eq!(m.evaluate(&truth(vec![(0, false)])), None);
+        // Unconditional alternative short-circuits everything.
+        m.add(vec![]);
+        assert!(m.is_unconditional());
+        assert_eq!(m.evaluate(&truth(vec![])), Some(true));
+        assert_eq!(m.instance_ids().count(), 0);
+    }
+
+    #[test]
+    fn ram_accounting_grows_with_depth_and_shrinks_on_close() {
+        let mut e = engine_for(&[("//a//a//a", Sign::Permit)], None);
+        let deep: String = (0..10).map(|_| "<a>").collect::<String>()
+            + &(0..10).map(|_| "</a>").collect::<String>();
+        let events = Parser::parse_all(&deep).unwrap();
+        let mut max_seen = 0usize;
+        for ev in &events[..10] {
+            e.process(ev);
+            max_seen = max_seen.max(e.ram_bytes());
+        }
+        let at_peak = e.ram_bytes();
+        for ev in &events[10..] {
+            e.process(ev);
+        }
+        assert!(e.ram_bytes() < at_peak);
+        assert!(e.stats().peak_ram_bytes >= max_seen);
+        assert!(e.stats().run_activations > 0);
+    }
+
+    #[test]
+    fn multiple_rules_matching_same_node_are_all_reported() {
+        let mut e = engine_for(
+            &[
+                ("//patient/name", Sign::Permit),
+                ("//name", Sign::Deny),
+                ("/hospital/patient/name", Sign::Permit),
+            ],
+            None,
+        );
+        let out = run(&mut e, "<hospital><patient><name>x</name></patient></hospital>");
+        let name_ann = out
+            .iter()
+            .find_map(|o| match o {
+                EngineOutput::Annotated {
+                    event: Event::Open { name, .. },
+                    annotation: Some(ann),
+                } if name == "name" => Some(ann.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let rule_ids: Vec<u32> = name_ann.direct.iter().map(|d| d.rule.0).collect();
+        assert_eq!(rule_ids, vec![0, 1, 2]);
+    }
+}

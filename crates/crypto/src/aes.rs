@@ -1,0 +1,301 @@
+//! AES-128 block cipher (FIPS-197), straightforward table-free implementation.
+//!
+//! The implementation computes the S-box lookups from a precomputed 256-byte
+//! table (generated once, at first use, from the multiplicative inverse in
+//! GF(2^8)) and performs `MixColumns` with explicit GF multiplications. It is
+//! deliberately simple: the SOE emulator charges decryption per byte, so the
+//! constant factor of this software implementation does not influence the
+//! relative results of the experiments.
+
+/// Block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+/// Key size in bytes (AES-128).
+pub const KEY_SIZE: usize = 16;
+
+const ROUNDS: usize = 10;
+
+/// Multiplies two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Computes the AES S-box at start-up.
+fn build_sbox() -> [u8; 256] {
+    // Multiplicative inverse table via brute force (runs once).
+    let mut inv = [0u8; 256];
+    for a in 1..=255u16 {
+        for b in 1..=255u16 {
+            if gf_mul(a as u8, b as u8) == 1 {
+                inv[a as usize] = b as u8;
+                break;
+            }
+        }
+    }
+    let mut sbox = [0u8; 256];
+    for i in 0..256usize {
+        let x = inv[i];
+        // Affine transformation.
+        let mut y = x;
+        let mut res = x;
+        for _ in 0..4 {
+            y = y.rotate_left(1);
+            res ^= y;
+        }
+        sbox[i] = res ^ 0x63;
+    }
+    sbox
+}
+
+fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in sbox.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// Lazily initialised S-box pair shared by all cipher instances.
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    use std::sync::OnceLock;
+    static SBOXES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    SBOXES.get_or_init(|| {
+        let sbox = build_sbox();
+        let inv = build_inv_sbox(&sbox);
+        (sbox, inv)
+    })
+}
+
+/// An AES-128 cipher with an expanded key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 {{ <key schedule redacted> }}")
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule.
+    pub fn new(key: &[u8; KEY_SIZE]) -> Self {
+        let (sbox, _) = sboxes();
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= *k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16], table: &[u8; 256]) {
+        for b in state.iter_mut() {
+            *b = table[*b as usize];
+        }
+    }
+
+    // The state is stored column-major: state[4*c + r] is row r, column c.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        let (sbox, _) = sboxes();
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            Self::sub_bytes(block, sbox);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block, sbox);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        let (_, inv_sbox) = sboxes();
+        Self::add_round_key(block, &self.round_keys[ROUNDS]);
+        for round in (1..ROUNDS).rev() {
+            Self::inv_shift_rows(block);
+            Self::sub_bytes(block, inv_sbox);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        Self::sub_bytes(block, inv_sbox);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B example.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let cipher = Aes128::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+                0x07, 0x34
+            ]
+        );
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        // FIPS-197 Appendix C.1 (AES-128 known answer test).
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let cipher = Aes128::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many_blocks() {
+        let cipher = Aes128::new(&[7u8; 16]);
+        for i in 0..64u8 {
+            let mut block = [i; 16];
+            let original = block;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn different_keys_produce_different_ciphertexts() {
+        let c1 = Aes128::new(&[1u8; 16]);
+        let c2 = Aes128::new(&[2u8; 16]);
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        c1.encrypt_block(&mut b1);
+        c2.encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key_material() {
+        let c = Aes128::new(&[0xAB; 16]);
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("171")); // 0xAB
+    }
+
+    #[test]
+    fn gf_mul_basic_identities() {
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe); // FIPS-197 §4.2 example
+        assert_eq!(gf_mul(1, 0x42), 0x42);
+        assert_eq!(gf_mul(0, 0x42), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Untrusted Document Service Provider (DSP).
+//!
+//! "The data are kept encrypted at the server" (§1); the DSP "hosts encrypted
+//! XML documents shared by users as well as encrypted access rules" (§3). The
+//! DSP is **untrusted**: it only ever sees ciphertext, Merkle proofs and
+//! protected rule blobs, and it cannot alter them without detection (the SOE
+//! verifies everything). This crate provides:
+//!
+//! * [`store`] — the encrypted document / protected rule store with versioning,
+//! * [`server`] — the pull-mode request API used by terminal proxies, with
+//!   byte accounting of everything served,
+//! * [`dissemination`] — the push-mode publisher of experiment E6: encrypted
+//!   stream items are broadcast to subscribers over unsecured channels, and
+//!   each subscriber's SOE filters what its user may see.
+
+pub mod dissemination;
+pub mod server;
+pub mod store;
+
+pub use dissemination::{DisseminationChannel, StreamItem};
+pub use server::{DspServer, ServerStats};
+pub use store::{DocumentRecord, DspStore};

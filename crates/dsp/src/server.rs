@@ -1,0 +1,165 @@
+//! Pull-mode request API of the DSP.
+//!
+//! The terminal proxy fetches the document header, then individual encrypted
+//! chunks (with their Merkle proofs) *on demand of the card*, and the protected
+//! rule blob of its subject. The server counts every byte it serves — the
+//! transfer-volume results of experiments E2 and E5 are read off these
+//! counters on one side and off the card ledger on the other.
+
+use sdds_core::secdoc::DocumentHeader;
+use sdds_core::CoreError;
+use sdds_crypto::merkle::MerkleProof;
+
+use crate::store::DspStore;
+
+/// Serving statistics of a DSP.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests served.
+    pub requests: usize,
+    /// Payload bytes served (headers, chunks, proofs, rule blobs).
+    pub bytes_served: usize,
+    /// Chunk requests served.
+    pub chunks_served: usize,
+}
+
+/// The DSP front-end.
+#[derive(Debug, Default)]
+pub struct DspServer {
+    store: DspStore,
+    stats: ServerStats,
+}
+
+impl DspServer {
+    /// Creates a server over an empty store.
+    pub fn new() -> Self {
+        DspServer::default()
+    }
+
+    /// Access to the underlying store (uploads).
+    pub fn store_mut(&mut self) -> &mut DspStore {
+        &mut self.store
+    }
+
+    /// Read access to the store.
+    pub fn store(&self) -> &DspStore {
+        &self.store
+    }
+
+    /// Serving statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Resets the serving statistics (between experiment runs).
+    pub fn reset_stats(&mut self) {
+        self.stats = ServerStats::default();
+    }
+
+    fn record(&mut self, bytes: usize) {
+        self.stats.requests += 1;
+        self.stats.bytes_served += bytes;
+    }
+
+    fn missing(doc_id: &str) -> CoreError {
+        CoreError::BadState {
+            message: format!("document `{doc_id}` is not stored at this DSP"),
+        }
+    }
+
+    /// Fetches a document header.
+    pub fn fetch_header(&mut self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
+        let record = self.store.get(doc_id).ok_or_else(|| Self::missing(doc_id))?;
+        let header = record.document.header.clone();
+        self.record(header.encode().len());
+        Ok(header)
+    }
+
+    /// Fetches one encrypted chunk and its Merkle proof.
+    pub fn fetch_chunk(
+        &mut self,
+        doc_id: &str,
+        index: u32,
+    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+        let record = self.store.get(doc_id).ok_or_else(|| Self::missing(doc_id))?;
+        let chunk = record
+            .document
+            .chunk(index as usize)
+            .ok_or_else(|| CoreError::BadState {
+                message: format!("chunk {index} out of range for `{doc_id}`"),
+            })?
+            .to_vec();
+        let proof = record.document.proof(index as usize)?;
+        let bytes = chunk.len() + proof.encode().len();
+        self.record(bytes);
+        self.stats.chunks_served += 1;
+        Ok((chunk, proof))
+    }
+
+    /// Fetches the protected rule blob of `subject`.
+    pub fn fetch_rules(&mut self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
+        let record = self.store.get(doc_id).ok_or_else(|| Self::missing(doc_id))?;
+        let blob = record
+            .rules
+            .get(subject)
+            .ok_or_else(|| CoreError::BadState {
+                message: format!("no rules stored for subject `{subject}` on `{doc_id}`"),
+            })?
+            .clone();
+        self.record(blob.len());
+        Ok(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_core::rule::RuleSet;
+    use sdds_core::secdoc::SecureDocumentBuilder;
+    use sdds_core::session::ProtectedRules;
+    use sdds_crypto::SecretKey;
+    use sdds_xml::generator::{self, GeneratorConfig, HospitalProfile};
+
+    fn server() -> DspServer {
+        let mut server = DspServer::new();
+        let doc = generator::hospital(
+            &HospitalProfile {
+                patients: 3,
+                ..HospitalProfile::default()
+            },
+            &GeneratorConfig::default(),
+        );
+        let secure = SecureDocumentBuilder::new("folder", SecretKey::derive(b"s", "doc")).build(&doc);
+        server.store_mut().put_document(secure);
+        let rules = RuleSet::parse("+, doctor, //patient").unwrap();
+        let sealed = ProtectedRules::seal(&rules, &SecretKey::derive(b"s", "rules"));
+        server.store_mut().put_rules("folder", "doctor", &sealed).unwrap();
+        server
+    }
+
+    #[test]
+    fn serves_headers_chunks_and_rules_with_accounting() {
+        let mut s = server();
+        let header = s.fetch_header("folder").unwrap();
+        assert_eq!(header.doc_id, "folder");
+        let (chunk, proof) = s.fetch_chunk("folder", 0).unwrap();
+        proof.verify(&chunk, &header.merkle_root).unwrap();
+        let rules = s.fetch_rules("folder", "doctor").unwrap();
+        assert!(!rules.is_empty());
+        let stats = s.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.chunks_served, 1);
+        assert!(stats.bytes_served > chunk.len());
+        s.reset_stats();
+        assert_eq!(s.stats().requests, 0);
+    }
+
+    #[test]
+    fn unknown_objects_are_reported() {
+        let mut s = server();
+        assert!(s.fetch_header("nope").is_err());
+        assert!(s.fetch_chunk("folder", 9999).is_err());
+        assert!(s.fetch_rules("folder", "stranger").is_err());
+        assert!(s.store().get("folder").is_some());
+    }
+}

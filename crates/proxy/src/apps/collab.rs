@@ -1,0 +1,197 @@
+//! Demonstration application 1: collaborative work within a community.
+//!
+//! "The first application deals with collaborative works among a community of
+//! users" (§3). A community (family, friends, research team) shares documents
+//! through an untrusted DSP; every member holds a smart card personalised for
+//! them; the sharing policy is user-specific and changes over time — which is
+//! exactly what static encryption schemes handle poorly (§1) and what the SOE
+//! approach makes cheap: a policy change is just a new protected rule set.
+
+use sdds_card::{CardProfile, CostModel, LatencyBreakdown};
+use sdds_core::rule::{RuleSet, Sign, Subject};
+use sdds_core::secdoc::SecureDocumentBuilder;
+use sdds_core::session::TrustedServer;
+use sdds_dsp::DspServer;
+use sdds_xml::Document;
+
+use crate::pki::SimulatedPki;
+use crate::proxy::{ProxyError, Terminal};
+
+/// Per-member outcome of one access to the shared document.
+#[derive(Debug, Clone)]
+pub struct MemberAccess {
+    /// Member name.
+    pub member: String,
+    /// Authorized view delivered by the member's card.
+    pub view: String,
+    /// Bytes served by the DSP for this access.
+    pub bytes_from_dsp: usize,
+    /// Simulated latency of the access on the e-gate cost model.
+    pub latency: LatencyBreakdown,
+}
+
+/// A collaborative workspace: one community document, one trusted rule issuer,
+/// one DSP, one terminal per member.
+pub struct CollaborativeWorkspace {
+    community_secret: Vec<u8>,
+    server: TrustedServer,
+    dsp: DspServer,
+    doc_id: String,
+    card_profile: CardProfile,
+}
+
+impl CollaborativeWorkspace {
+    /// Creates a workspace: publishes `document` (encrypted) on a fresh DSP
+    /// under the community's document key and installs the initial policy.
+    pub fn new(
+        community_secret: &[u8],
+        doc_id: &str,
+        document: &Document,
+        initial_rules: RuleSet,
+        card_profile: CardProfile,
+    ) -> Self {
+        let server = TrustedServer::new(community_secret, initial_rules);
+        let secure =
+            SecureDocumentBuilder::new(doc_id, server.document_key()).build(document);
+        let mut dsp = DspServer::new();
+        dsp.store_mut().put_document(secure);
+        CollaborativeWorkspace {
+            community_secret: community_secret.to_vec(),
+            server,
+            dsp,
+            doc_id: doc_id.to_owned(),
+            card_profile,
+        }
+    }
+
+    /// The trusted rule issuer (to inspect or change the policy).
+    pub fn server(&self) -> &TrustedServer {
+        &self.server
+    }
+
+    /// The DSP (to inspect serving statistics).
+    pub fn dsp(&self) -> &DspServer {
+        &self.dsp
+    }
+
+    /// Members named in the current policy.
+    pub fn members(&self) -> Vec<Subject> {
+        self.server.rules().subjects()
+    }
+
+    /// Changes the policy: adds a rule for `member`. Nothing happens to the
+    /// stored document — no re-encryption, no key redistribution.
+    pub fn grant(&mut self, member: &str, sign: Sign, object: &str) -> Result<(), ProxyError> {
+        self.server
+            .rules_mut()
+            .push(sign, member, object)
+            .map_err(ProxyError::Core)?;
+        Ok(())
+    }
+
+    /// Issues and provisions a terminal + card for `member`.
+    pub fn terminal_for(&self, member: &str) -> Result<Terminal, ProxyError> {
+        let pki = SimulatedPki::new(&self.community_secret);
+        let subject = Subject::new(member);
+        let mut terminal = Terminal::issue_card(
+            member,
+            pki.card_transport_key(&subject),
+            self.card_profile,
+        );
+        terminal.provision_from(&self.server)?;
+        Ok(terminal)
+    }
+
+    /// One member accesses the shared document (optionally through a query).
+    pub fn access(
+        &mut self,
+        member: &str,
+        query: Option<&str>,
+    ) -> Result<MemberAccess, ProxyError> {
+        let mut terminal = self.terminal_for(member)?;
+        if let Some(q) = query {
+            terminal.set_query(q)?;
+        }
+        self.dsp.reset_stats();
+        let view = terminal.evaluate_from_dsp(&mut self.dsp, &self.doc_id)?;
+        Ok(MemberAccess {
+            member: member.to_owned(),
+            view,
+            bytes_from_dsp: self.dsp.stats().bytes_served,
+            latency: terminal.latency(&CostModel::egate()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_xml::generator::{self, CommunityProfile, GeneratorConfig};
+
+    fn workspace() -> CollaborativeWorkspace {
+        let doc = generator::community(
+            &CommunityProfile {
+                members: 3,
+                ..CommunityProfile::default()
+            },
+            &GeneratorConfig::default(),
+        );
+        let rules = RuleSet::parse(
+            "+, alice, /community\n\
+             -, alice, //budget\n\
+             +, bob, //member/name\n\
+             +, bob, //project/title",
+        )
+        .unwrap();
+        CollaborativeWorkspace::new(
+            b"research-team",
+            "team-doc",
+            &doc,
+            rules,
+            CardProfile::modern_secure_element(),
+        )
+    }
+
+    #[test]
+    fn members_see_their_own_views() {
+        let mut ws = workspace();
+        assert_eq!(ws.members().len(), 2);
+        let alice = ws.access("alice", None).unwrap();
+        assert!(alice.view.contains("<project"));
+        assert!(!alice.view.contains("<budget>"));
+        assert!(alice.bytes_from_dsp > 0);
+        assert!(alice.latency.total().as_secs_f64() > 0.0);
+
+        let bob = ws.access("bob", None).unwrap();
+        assert!(bob.view.contains("<title>"));
+        assert!(!bob.view.contains("<note>"));
+        assert!(bob.view.len() < alice.view.len());
+
+        // An outsider gets an empty view.
+        let eve = ws.access("eve", None).unwrap();
+        assert!(eve.view.is_empty());
+    }
+
+    #[test]
+    fn policy_changes_take_effect_without_touching_the_document() {
+        let mut ws = workspace();
+        let stored_before = ws.dsp().store().stored_bytes();
+        let before = ws.access("bob", None).unwrap();
+        assert!(!before.view.contains("<budget>"));
+
+        ws.grant("bob", Sign::Permit, "//project/budget").unwrap();
+        let after = ws.access("bob", None).unwrap();
+        assert!(after.view.contains("<budget>"));
+        // The encrypted document at the DSP did not change at all.
+        assert_eq!(ws.dsp().store().stored_bytes(), stored_before);
+        assert_eq!(ws.dsp().store().get("team-doc").unwrap().revision, 0);
+    }
+
+    #[test]
+    fn queries_restrict_member_views() {
+        let mut ws = workspace();
+        let access = ws.access("alice", Some("//member/name")).unwrap();
+        assert!(access.view.contains("<name>"));
+        assert!(!access.view.contains("<project"));
+    }
+}

@@ -1,0 +1,4 @@
+//! The two demonstration applications of the paper (§3).
+
+pub mod collab;
+pub mod dissem;

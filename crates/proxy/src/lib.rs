@@ -1,0 +1,23 @@
+//! Terminal proxy and demo applications.
+//!
+//! Figure 3 of the paper places, on the device hosting the smart card, a
+//! *proxy* that lets applications talk to the DSP and to the card "through an
+//! XML API independent of the underlying protocols (JDBC, APDU)". This crate
+//! is that terminal-side software plus the two demonstration applications:
+//!
+//! * [`pki`] — the simulated PKI of the demo (footnote 2: "we will not use a
+//!   PKI infrastructure but rather simulate it"),
+//! * [`proxy`] — the [`proxy::Terminal`]: card issuance, provisioning, and the
+//!   pull-mode document evaluation loop (fetch header → let the card request
+//!   chunks → push them over APDUs → reassemble the authorized view),
+//! * [`apps::collab`] — application 1, collaborative data sharing within a
+//!   community (pull, textual data, interactive latencies),
+//! * [`apps::dissem`] — application 2, selective dissemination of streams over
+//!   unsecured channels (push, per-subscriber filtering, real-time constraint).
+
+pub mod apps;
+pub mod pki;
+pub mod proxy;
+
+pub use pki::SimulatedPki;
+pub use proxy::{ProxyError, Terminal};

@@ -1,0 +1,114 @@
+//! Error type for the XML substrate.
+
+use std::fmt;
+
+/// Errors raised by the streaming parser and the tree builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The input ended while an element was still open.
+    UnexpectedEof {
+        /// Names of the elements still open, outermost first.
+        open_elements: Vec<String>,
+    },
+    /// A closing tag did not match the innermost open element.
+    MismatchedClose {
+        /// Name found in the closing tag.
+        found: String,
+        /// Name of the innermost open element (if any).
+        expected: Option<String>,
+        /// Byte offset of the offending tag.
+        offset: usize,
+    },
+    /// Malformed markup (bad tag syntax, unterminated comment, bad entity, ...).
+    Malformed {
+        /// Human readable description.
+        message: String,
+        /// Byte offset at which the problem was detected.
+        offset: usize,
+    },
+    /// Content found after the document (root) element was closed.
+    TrailingContent {
+        /// Byte offset of the trailing content.
+        offset: usize,
+    },
+    /// The document contains no root element at all.
+    EmptyDocument,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { open_elements } => write!(
+                f,
+                "unexpected end of input, {} element(s) still open (innermost: {:?})",
+                open_elements.len(),
+                open_elements.last()
+            ),
+            XmlError::MismatchedClose {
+                found,
+                expected,
+                offset,
+            } => write!(
+                f,
+                "mismatched closing tag </{found}> at byte {offset}, expected {expected:?}"
+            ),
+            XmlError::Malformed { message, offset } => {
+                write!(f, "malformed XML at byte {offset}: {message}")
+            }
+            XmlError::TrailingContent { offset } => {
+                write!(f, "content after the root element at byte {offset}")
+            }
+            XmlError::EmptyDocument => write!(f, "document contains no root element"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl XmlError {
+    /// Convenience constructor for [`XmlError::Malformed`].
+    pub fn malformed(message: impl Into<String>, offset: usize) -> Self {
+        XmlError::Malformed {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = XmlError::malformed("oops", 12);
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("oops"));
+
+        let e = XmlError::MismatchedClose {
+            found: "b".into(),
+            expected: Some("a".into()),
+            offset: 3,
+        };
+        assert!(e.to_string().contains("</b>"));
+
+        let e = XmlError::UnexpectedEof {
+            open_elements: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("2 element(s)"));
+
+        let e = XmlError::TrailingContent { offset: 9 };
+        assert!(e.to_string().contains("byte 9"));
+
+        assert!(XmlError::EmptyDocument.to_string().contains("no root"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(XmlError::EmptyDocument, XmlError::EmptyDocument);
+        assert_ne!(
+            XmlError::EmptyDocument,
+            XmlError::TrailingContent { offset: 0 }
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Parse errors for the XPath fragment.
+
+use std::fmt;
+
+/// Error produced when parsing an XPath expression outside the supported
+/// XP{[],*,//} fragment, or syntactically malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Character offset in the expression where the problem was found.
+    pub offset: usize,
+    /// The expression being parsed.
+    pub expression: String,
+}
+
+impl ParseError {
+    /// Creates a new parse error.
+    pub fn new(message: impl Into<String>, offset: usize, expression: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+            expression: expression.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XPath parse error at offset {} in `{}`: {}",
+            self.offset, self.expression, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offset_and_expression() {
+        let e = ParseError::new("unexpected token", 3, "/a[[");
+        let s = e.to_string();
+        assert!(s.contains("offset 3"));
+        assert!(s.contains("/a[["));
+        assert!(s.contains("unexpected token"));
+    }
+}

@@ -1,0 +1,27 @@
+//! XPath fragment **XP{[],*,//}** used by SDDS access-control rules and queries.
+//!
+//! The paper (§2.2) restricts rule objects and queries to "a rather robust
+//! subset of XPath [...] consist[ing] of node tests, the child axis (/), the
+//! descendant axis (//), wildcards (*) and predicates or branches [...]".
+//! This crate provides:
+//!
+//! * [`ast`] — the abstract syntax tree of that fragment (plus text / attribute
+//!   comparison predicates, which the underlying access-control models of
+//!   Bertino and Samarati both use),
+//! * [`lexer`] / [`parser`] — a hand-written recursive-descent parser,
+//! * [`eval`] — a reference evaluator over the in-memory [`sdds_xml::Document`]
+//!   tree, used as the oracle for the streaming engine and by the baselines,
+//! * [`tagset`] — static analysis of a path against a tag vocabulary, used by
+//!   the skip index to discard rules that cannot apply inside a subtree.
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod tagset;
+
+pub use ast::{Axis, Comparison, NodeTest, Path, Predicate, PredicateTarget, Step};
+pub use error::ParseError;
+pub use eval::evaluate;
+pub use parser::parse;

@@ -1,0 +1,69 @@
+//! Demo application 1: collaborative work within a community (pull mode).
+//!
+//! Run with: `cargo run --example collaborative_community`
+
+use sdds_card::CardProfile;
+use sdds_core::rule::{RuleSet, Sign};
+use sdds_proxy::apps::collab::CollaborativeWorkspace;
+use sdds_xml::generator::{self, CommunityProfile, GeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let document = generator::community(
+        &CommunityProfile {
+            members: 4,
+            ..CommunityProfile::default()
+        },
+        &GeneratorConfig::default(),
+    );
+
+    // Initial sharing policy of the research team.
+    let rules = RuleSet::parse(
+        "+, lead, /community\n\
+         +, member, //project/title\n\
+         +, member, //member/name\n\
+         -, member, //meeting[@private = \"true\"]\n\
+         +, guest, //project[@status = \"active\"]/title",
+    )?;
+
+    let mut workspace = CollaborativeWorkspace::new(
+        b"research-team-2005",
+        "team-workspace",
+        &document,
+        rules,
+        CardProfile::modern_secure_element(),
+    );
+
+    println!("community members with rules: {:?}", workspace.members());
+
+    for member in ["lead", "member", "guest"] {
+        let access = workspace.access(member, None)?;
+        println!(
+            "\n=== {member} === ({} bytes fetched from the DSP, latency {})",
+            access.bytes_from_dsp,
+            access.latency.summary_ms()
+        );
+        let preview: String = access.view.chars().take(240).collect();
+        println!("{preview}...");
+    }
+
+    // The collaboration evolves: the guest becomes a partner on budgets.
+    println!("\n-- policy change: guests may now read project budgets --");
+    workspace.grant("guest", Sign::Permit, "//project/budget")?;
+    let access = workspace.access("guest", None)?;
+    println!(
+        "guest view now includes budgets: {}",
+        access.view.contains("<budget>")
+    );
+    println!(
+        "and the stored encrypted document is unchanged (revision {})",
+        workspace.dsp().store().get("team-workspace").unwrap().revision
+    );
+
+    // Pull with a query: only the agenda of the community.
+    let access = workspace.access("lead", Some("//agenda"))?;
+    println!(
+        "\nlead queried //agenda: {} bytes of authorized result",
+        access.view.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: protect an XML document with user-specific rules, store it
+//! encrypted at an untrusted DSP, and read it back through a smart-card SOE.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sdds_card::CardProfile;
+use sdds_core::rule::RuleSet;
+use sdds_core::secdoc::SecureDocumentBuilder;
+use sdds_core::session::TrustedServer;
+use sdds_dsp::DspServer;
+use sdds_proxy::{SimulatedPki, Terminal};
+use sdds_xml::Document;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A document the family wants to share safely.
+    let document = Document::parse(
+        r#"<family>
+             <agenda>
+               <event private="false"><date>2005-06-14</date><title>SIGMOD demo session</title></event>
+               <event private="true"><date>2005-06-20</date><title>Surprise party</title></event>
+             </agenda>
+             <budget><item>rent</item><amount>900</amount></budget>
+           </family>"#,
+    )?;
+
+    // 2. The sharing policy: the parents see everything, the teenager sees the
+    //    agenda but neither private events nor the budget.
+    let rules = RuleSet::parse(
+        "+, parent, /family\n\
+         +, teen, /family/agenda\n\
+         -, teen, //event[@private = \"true\"]\n\
+         -, teen, //budget",
+    )?;
+
+    // 3. The trusted (family-owned) side: keys + rules. The PKI of the demo is
+    //    simulated: every family card shares a transport secret with it.
+    let server = TrustedServer::new(b"family-secret", rules);
+    let pki = SimulatedPki::new(b"family-secret");
+
+    // 4. Encrypt the document and publish it on the untrusted DSP.
+    let secure = SecureDocumentBuilder::new("family-agenda", server.document_key()).build(&document);
+    println!(
+        "published `family-agenda`: {} encrypted chunks, {} bytes of skip index",
+        secure.chunk_count(),
+        secure.encode_stats.index_bytes
+    );
+    let mut dsp = DspServer::new();
+    dsp.store_mut().put_document(secure);
+
+    // 5. Each user plugs their card into a terminal, gets provisioned, and
+    //    reads the document: access control runs *inside the card*.
+    for user in ["parent", "teen", "stranger"] {
+        let mut terminal = Terminal::issue_card(
+            user,
+            pki.card_transport_key(&sdds_core::rule::Subject::new(user)),
+            CardProfile::modern_secure_element(),
+        );
+        // A stranger's card is not provisioned for this community at all.
+        let view = if user == "stranger" {
+            String::from("(no access: the card holds neither the keys nor any rule)")
+        } else {
+            terminal.provision_from(&server)?;
+            terminal.evaluate_from_dsp(&mut dsp, "family-agenda")?
+        };
+        println!("\n=== view of `{user}` ===\n{view}");
+    }
+    Ok(())
+}

@@ -1,0 +1,219 @@
+//! End-to-end integration tests spanning every crate: publisher → DSP →
+//! terminal proxy → smart-card SOE → authorized view, compared against the
+//! tree-based oracle.
+
+use sdds_card::{CardProfile, CostModel};
+use sdds_core::baseline::{authorized_view_oracle, DomBaseline};
+use sdds_core::conflict::AccessPolicy;
+use sdds_core::rule::{RuleSet, Sign, Subject};
+use sdds_core::secdoc::SecureDocumentBuilder;
+use sdds_core::session::TrustedServer;
+use sdds_dsp::DspServer;
+use sdds_proxy::{SimulatedPki, Terminal};
+use sdds_xml::generator::{self, Corpus, GeneratorConfig};
+use sdds_xml::{writer, Document, Parser};
+
+fn medical_rules() -> RuleSet {
+    RuleSet::parse(
+        "+, doctor, //patient\n\
+         -, doctor, //patient/ssn\n\
+         +, secretary, //patient/name\n\
+         +, secretary, //patient/address\n\
+         -, secretary, //patient[diagnosis/item/@sensitive = \"true\"]/address\n\
+         +, researcher, //diagnosis",
+    )
+    .unwrap()
+}
+
+fn publish(
+    server: &TrustedServer,
+    doc: &Document,
+    doc_id: &str,
+) -> DspServer {
+    let secure = SecureDocumentBuilder::new(doc_id, server.document_key()).build(doc);
+    let mut dsp = DspServer::new();
+    dsp.store_mut().put_document(secure);
+    dsp
+}
+
+fn terminal_for(server: &TrustedServer, community: &[u8], subject: &str) -> Terminal {
+    let pki = SimulatedPki::new(community);
+    let mut terminal = Terminal::issue_card(
+        subject,
+        pki.card_transport_key(&Subject::new(subject)),
+        CardProfile::modern_secure_element(),
+    );
+    terminal.provision_from(server).expect("provisioning succeeds");
+    terminal
+}
+
+#[test]
+fn every_subject_gets_exactly_the_oracle_view_through_the_full_stack() {
+    let doc = Corpus::Hospital.generate(1_500, &GeneratorConfig::default());
+    let server = TrustedServer::new(b"hospital", medical_rules());
+    let mut dsp = publish(&server, &doc, "folders");
+
+    for subject in ["doctor", "secretary", "researcher", "outsider"] {
+        let mut terminal = terminal_for(&server, b"hospital", subject);
+        let view = terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+        let oracle = authorized_view_oracle(
+            &doc,
+            &medical_rules(),
+            &Subject::new(subject),
+            None,
+            &AccessPolicy::paper(),
+        );
+        assert_eq!(
+            view,
+            writer::to_string(&oracle),
+            "view of `{subject}` differs from the oracle"
+        );
+        // The delivered view must re-parse as well-formed XML (or be empty).
+        if !view.is_empty() {
+            Parser::parse_all(&view).expect("authorized view is well-formed XML");
+        }
+    }
+}
+
+#[test]
+fn queries_compose_with_access_control_across_the_stack() {
+    let doc = Corpus::Hospital.generate(1_000, &GeneratorConfig::default());
+    let server = TrustedServer::new(b"hospital", medical_rules());
+    let mut dsp = publish(&server, &doc, "folders");
+
+    let mut terminal = terminal_for(&server, b"hospital", "doctor");
+    terminal.set_query("//patient/name").unwrap();
+    let view = terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+    assert!(view.contains("<name>"));
+    assert!(!view.contains("<report>"));
+    assert!(!view.contains("<ssn>"));
+
+    let oracle = authorized_view_oracle(
+        &doc,
+        &medical_rules(),
+        &Subject::new("doctor"),
+        Some(&sdds_core::Query::parse("//patient/name").unwrap()),
+        &AccessPolicy::paper(),
+    );
+    assert_eq!(view, writer::to_string(&oracle));
+}
+
+#[test]
+fn dynamic_policy_changes_need_no_reencryption_but_static_baseline_does() {
+    let doc = Corpus::Hospital.generate(800, &GeneratorConfig::default());
+    let mut server = TrustedServer::new(b"hospital", medical_rules());
+    let mut dsp = publish(&server, &doc, "folders");
+    let stored_before = dsp.store().stored_bytes();
+
+    // Before the change the nurse sees nothing.
+    let mut nurse = terminal_for(&server, b"hospital", "nurse");
+    assert!(nurse.evaluate_from_dsp(&mut dsp, "folders").unwrap().is_empty());
+
+    // Grant the nurse access to names: only a new protected rule set travels.
+    server.rules_mut().push(Sign::Permit, "nurse", "//patient/name").unwrap();
+    let mut nurse = terminal_for(&server, b"hospital", "nurse");
+    let view = nurse.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+    assert!(view.contains("<name>"));
+    assert_eq!(dsp.store().stored_bytes(), stored_before, "no re-encryption happened");
+
+    // The static-encryption baseline pays for the same change.
+    let mut scheme = sdds_core::baseline::StaticEncryptionScheme::build(
+        &doc,
+        &medical_rules(),
+        &AccessPolicy::paper(),
+    );
+    let mut new_rules = medical_rules();
+    new_rules.push(Sign::Permit, "nurse", "//patient/name").unwrap();
+    let cost = scheme.apply_rule_change(&doc, &new_rules, &AccessPolicy::paper());
+    assert!(cost.bytes_reencrypted > 0);
+    assert!(cost.keys_redistributed > 0);
+}
+
+#[test]
+fn dom_baseline_agrees_with_the_card_but_fetches_everything() {
+    let doc = Corpus::Hospital.generate(1_000, &GeneratorConfig::default());
+    let server = TrustedServer::new(b"hospital", medical_rules());
+    // 128-byte chunks so that the skip granularity is fine enough for the
+    // comparison (see EXPERIMENTS.md, E2 chunk-size ablation).
+    let secure = SecureDocumentBuilder::new("folders", server.document_key())
+        .chunk_size(128)
+        .build(&doc);
+    let mut dsp = DspServer::new();
+    dsp.store_mut().put_document(secure.clone());
+
+    // The researcher only reads diagnosis subtrees: most chunks are skippable.
+    let mut terminal = terminal_for(&server, b"hospital", "researcher");
+    dsp.reset_stats();
+    let card_view = terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+    let card_chunks = dsp.stats().chunks_served;
+
+    let dom = DomBaseline::run(
+        &secure,
+        &server.document_key(),
+        &medical_rules(),
+        &Subject::new("researcher"),
+        None,
+        &AccessPolicy::paper(),
+    )
+    .unwrap();
+    assert_eq!(card_view, writer::to_string(&dom.view));
+    // The DOM baseline decrypts the whole document; the card fetched fewer chunks.
+    assert!(dom.ledger.bytes_decrypted as u64 >= secure.header.plaintext_len);
+    assert!(
+        card_chunks < secure.chunk_count(),
+        "card fetched {card_chunks} of {} chunks",
+        secure.chunk_count()
+    );
+    // And its working set is far beyond the e-gate's 1 KiB.
+    assert!(dom.materialized_bytes > CardProfile::egate().ram_bytes);
+}
+
+#[test]
+fn simulated_latency_reflects_the_egate_bottlenecks() {
+    let doc = Corpus::Hospital.generate(600, &GeneratorConfig::default());
+    let server = TrustedServer::new(b"hospital", medical_rules());
+    let mut dsp = publish(&server, &doc, "folders");
+    let mut terminal = terminal_for(&server, b"hospital", "doctor");
+    terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+
+    let egate = terminal.latency(&CostModel::egate());
+    let modern = terminal.latency(&CostModel::modern_secure_element());
+    assert!(egate.total() > modern.total());
+    // On the e-gate, the 2 KB/s channel dominates the breakdown.
+    assert!(egate.transfer >= egate.evaluation);
+    assert!(egate.transfer_share() > 0.3);
+}
+
+#[test]
+fn all_generated_corpora_survive_the_full_pipeline() {
+    for corpus in Corpus::all() {
+        let doc = corpus.generate(600, &GeneratorConfig::default());
+        let rules = RuleSet::parse("+, user, /*").unwrap();
+        let server = TrustedServer::new(b"generic", rules.clone());
+        let mut dsp = publish(&server, &doc, corpus.name());
+        let mut terminal = terminal_for(&server, b"generic", "user");
+        let view = terminal.evaluate_from_dsp(&mut dsp, corpus.name()).unwrap();
+        // Full permission: the view re-parses and contains the same number of
+        // elements as the original document.
+        let view_events = Parser::parse_all(&view).unwrap();
+        let original = doc.to_events();
+        assert_eq!(
+            view_events.iter().filter(|e| e.name().is_some()).count(),
+            original.iter().filter(|e| e.name().is_some()).count(),
+            "corpus {} lost or duplicated elements",
+            corpus.name()
+        );
+    }
+}
+
+#[test]
+fn generated_documents_roundtrip_through_text_serialisation() {
+    for corpus in Corpus::all() {
+        let doc = corpus.generate(400, &GeneratorConfig::default());
+        let text = doc.to_xml();
+        let reparsed = Document::parse(&text).unwrap();
+        assert_eq!(reparsed.to_xml(), text, "corpus {}", corpus.name());
+        let events = generator::Corpus::generate(corpus, 400, &GeneratorConfig::default()).to_events();
+        assert_eq!(events, doc.to_events());
+    }
+}

@@ -1,0 +1,177 @@
+//! Integration tests of the secure pipeline itself: tamper resistance across
+//! crate boundaries, skip-index cost behaviour, RAM-budget behaviour and the
+//! dissemination path.
+
+use std::time::Duration;
+
+use sdds_card::{CardProfile, CostModel};
+use sdds_core::conflict::AccessPolicy;
+use sdds_core::engine::{evaluate_secure_document, EngineConfig, SecureEvaluationSession, SessionRequest};
+use sdds_core::evaluator::EvaluatorConfig;
+use sdds_core::rule::RuleSet;
+use sdds_core::secdoc::SecureDocumentBuilder;
+use sdds_core::skipindex::encode::EncoderConfig;
+use sdds_core::CoreError;
+use sdds_crypto::SecretKey;
+use sdds_proxy::apps::dissem::DisseminationApp;
+use sdds_xml::generator::{self, Corpus, GeneratorConfig, StreamProfile};
+use sdds_xml::writer;
+
+fn key() -> SecretKey {
+    SecretKey::derive(b"integration", "doc")
+}
+
+fn restrictive_rules() -> RuleSet {
+    RuleSet::parse("+, user, //patient/name").unwrap()
+}
+
+#[test]
+fn skip_benefit_grows_with_document_size_and_restrictiveness() {
+    // The headline claim of E2: for a restrictive subject the skip index cuts
+    // the transferred + decrypted volume, and the benefit grows with size.
+    let mut previous_ratio = f64::MAX;
+    for target in [500usize, 2_000, 8_000] {
+        let doc = Corpus::Hospital.generate(target, &GeneratorConfig::default());
+        // 128-byte chunks: the chunk is the integrity/decryption granularity,
+        // so it bounds how much of the skipped bytes translates into chunks
+        // that are never fetched (see the E2 ablation on chunk size).
+        let secure = SecureDocumentBuilder::new("doc", key())
+            .chunk_size(128)
+            .encoder_config(EncoderConfig {
+                min_index_bytes: 32,
+                ..EncoderConfig::default()
+            })
+            .build(&doc);
+        let run = |use_index: bool| {
+            let mut config = EngineConfig::new(EvaluatorConfig::new(restrictive_rules(), "user"));
+            config.use_skip_index = use_index;
+            evaluate_secure_document(&secure, &key(), config).unwrap()
+        };
+        let (view_with, with) = run(true);
+        let (view_without, without) = run(false);
+        assert_eq!(
+            writer::to_string(&view_with),
+            writer::to_string(&view_without)
+        );
+        assert!(with.ledger.bytes_decrypted < without.ledger.bytes_decrypted);
+        // The skipped *byte ranges* must cover most of the document (the rule
+        // only needs the name element of each patient).
+        assert!(
+            with.ledger.bytes_skipped as f64 > 0.7 * secure.header.plaintext_len as f64,
+            "expected most of the document to be skipped"
+        );
+        let ratio = with.ledger.bytes_decrypted as f64 / without.ledger.bytes_decrypted as f64;
+        assert!(
+            ratio <= previous_ratio + 0.15,
+            "skip benefit should not degrade as the document grows (ratio {ratio} after {previous_ratio})"
+        );
+        previous_ratio = ratio;
+    }
+    // For the largest document the realised reduction (whole chunks never
+    // fetched nor decrypted) must be substantial.
+    assert!(previous_ratio < 0.7, "expected >30% decryption savings, got ratio {previous_ratio}");
+}
+
+#[test]
+fn chunk_size_trades_skip_precision_for_proof_overhead() {
+    let doc = Corpus::Hospital.generate(4_000, &GeneratorConfig::default());
+    let mut decrypted = Vec::new();
+    for chunk_size in [128usize, 512, 2048] {
+        let secure = SecureDocumentBuilder::new("doc", key())
+            .chunk_size(chunk_size)
+            .build(&doc);
+        let config = EngineConfig::new(EvaluatorConfig::new(restrictive_rules(), "user"));
+        let (_, stats) = evaluate_secure_document(&secure, &key(), config).unwrap();
+        decrypted.push(stats.ledger.bytes_decrypted);
+    }
+    // Smaller chunks skip more precisely, hence decrypt no more than larger ones.
+    assert!(decrypted[0] <= decrypted[1]);
+    assert!(decrypted[1] <= decrypted[2]);
+}
+
+#[test]
+fn tampering_anywhere_is_detected_before_any_output_is_produced() {
+    let doc = Corpus::Hospital.generate(800, &GeneratorConfig::default());
+    let secure = SecureDocumentBuilder::new("doc", key()).build(&doc);
+    let config = || EngineConfig::new(EvaluatorConfig::new(restrictive_rules(), "user"));
+
+    // Header tampering.
+    let mut header = secure.header.clone();
+    header.plaintext_len += 1;
+    assert!(SecureEvaluationSession::open(header, key(), config()).is_err());
+
+    // Chunk substitution: serve chunk 1 in place of chunk 0 with chunk 0's proof.
+    let mut session = SecureEvaluationSession::open(secure.header.clone(), key(), config()).unwrap();
+    let SessionRequest::NeedChunk(first) = session.next_request() else {
+        panic!("expected a chunk request")
+    };
+    let err = session
+        .supply_chunk(
+            first,
+            secure.chunk((first + 1) as usize).unwrap(),
+            &secure.proof(first as usize).unwrap(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Crypto(_)));
+    assert!(session.take_output().is_empty());
+}
+
+#[test]
+fn egate_ram_budget_is_respected_on_realistic_folders() {
+    // The evaluator working set (excluding the chunk window handled by the
+    // card's I/O buffer) must stay within the e-gate's 1 KiB for rule sets
+    // without cross-subtree pendency, independently of document size.
+    let doc = Corpus::Hospital.generate(6_000, &GeneratorConfig::default());
+    let secure = SecureDocumentBuilder::new("doc", key()).chunk_size(256).build(&doc);
+    let config = EngineConfig::new(EvaluatorConfig::new(restrictive_rules(), "user"));
+    let (_, stats) = evaluate_secure_document(&secure, &key(), config).unwrap();
+    let evaluator_peak = stats.evaluator.unwrap().peak_ram_bytes();
+    assert!(
+        evaluator_peak <= CardProfile::egate().ram_bytes,
+        "evaluator peak {evaluator_peak} exceeds the 1 KiB e-gate budget"
+    );
+}
+
+#[test]
+fn dissemination_meets_real_time_on_the_egate_model() {
+    let stream = generator::stream(
+        &StreamProfile {
+            items: 15,
+            payload_len: 96,
+            ..StreamProfile::default()
+        },
+        &GeneratorConfig::default(),
+    );
+    let rules = RuleSet::parse("-, child, //item[rating > 12]").unwrap();
+    let app = DisseminationApp::new(
+        b"broadcast",
+        &stream,
+        rules,
+        CardProfile::modern_secure_element(),
+    );
+    let report = app.consume_in_process("child", AccessPolicy::open()).unwrap();
+    assert_eq!(report.items_delivered + report.items_blocked, 15);
+    assert!(report.items_blocked > 0);
+    assert!(report.items_delivered > 0);
+    // Each (small) item fits comfortably in a 2-second broadcast slot even on
+    // the 2 KB/s card.
+    assert!(report.meets_real_time(Duration::from_secs(2)));
+}
+
+#[test]
+fn latency_breakdown_is_dominated_by_transfer_then_decryption_on_egate() {
+    let doc = Corpus::Hospital.generate(2_000, &GeneratorConfig::default());
+    let secure = SecureDocumentBuilder::new("doc", key()).build(&doc);
+    let config = EngineConfig::new(EvaluatorConfig::new(
+        RuleSet::parse("+, user, /hospital").unwrap(),
+        "user",
+    ));
+    let (_, stats) = evaluate_secure_document(&secure, &key(), config).unwrap();
+    let breakdown = stats.ledger.breakdown(&CostModel::egate());
+    assert!(breakdown.transfer > breakdown.decryption);
+    assert!(breakdown.decryption > breakdown.evaluation);
+    assert!(breakdown.total() > Duration::from_millis(10));
+    // On a modern secure element the same work is at least 10x faster.
+    let modern = stats.ledger.breakdown(&CostModel::modern_secure_element());
+    assert!(breakdown.total().as_secs_f64() / modern.total().as_secs_f64() > 10.0);
+}

@@ -1,0 +1,134 @@
+//! Property-based tests: the streaming evaluator (the paper's contribution)
+//! must agree with the tree-based oracle on randomly generated documents and
+//! randomly generated rule sets of the XP{[],*,//} fragment, and the secure
+//! pipeline must preserve that equivalence.
+
+use proptest::prelude::*;
+
+use sdds_core::baseline::authorized_view_oracle;
+use sdds_core::conflict::AccessPolicy;
+use sdds_core::engine::{evaluate_secure_document, EngineConfig};
+use sdds_core::evaluator::{EvaluatorConfig, StreamingEvaluator};
+use sdds_core::rule::{RuleSet, Sign, Subject};
+use sdds_core::secdoc::SecureDocumentBuilder;
+use sdds_crypto::SecretKey;
+use sdds_xml::generator::{self, GeneratorConfig, RandomProfile};
+use sdds_xml::{writer, Document};
+
+/// Strategy generating a random document from the bounded-vocabulary profile.
+fn document_strategy() -> impl Strategy<Value = Document> {
+    (1usize..120, 2usize..7, 1usize..5, 2usize..7, any::<u64>()).prop_map(
+        |(elements, depth, fanout, vocabulary, seed)| {
+            generator::random(
+                &RandomProfile {
+                    elements,
+                    max_depth: depth,
+                    max_fanout: fanout,
+                    vocabulary,
+                    text_probability: 0.6,
+                },
+                &GeneratorConfig {
+                    seed,
+                    text_len: 8,
+                },
+            )
+        },
+    )
+}
+
+/// Strategy generating a random rule object within the streaming fragment over
+/// the `t0..t5` vocabulary of the random generator (plus the root tag).
+fn path_strategy() -> impl Strategy<Value = String> {
+    let name = prop_oneof![
+        Just("root".to_owned()),
+        (0u8..6).prop_map(|i| format!("t{i}")),
+        Just("*".to_owned()),
+    ];
+    let axis = prop_oneof![Just("/".to_owned()), Just("//".to_owned())];
+    let predicate = prop_oneof![
+        Just(String::new()),
+        (0u8..6).prop_map(|i| format!("[t{i}]")),
+        Just("[.]".to_owned()),
+    ];
+    let step = (axis, name, predicate).prop_map(|(a, n, p)| format!("{a}{n}{p}"));
+    prop::collection::vec(step, 1..4).prop_map(|steps| {
+        let mut s: String = steps.concat();
+        if !s.starts_with('/') {
+            s.insert(0, '/');
+        }
+        s
+    })
+}
+
+fn rules_strategy() -> impl Strategy<Value = RuleSet> {
+    prop::collection::vec((path_strategy(), any::<bool>()), 0..6).prop_map(|entries| {
+        let mut rules = RuleSet::new();
+        for (path, permit) in entries {
+            let sign = if permit { Sign::Permit } else { Sign::Deny };
+            // Paths from the strategy are always parseable members of the
+            // fragment; push cannot fail.
+            rules.push(sign, "user", &path).expect("generated rule parses");
+        }
+        rules
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The streaming evaluator and the tree oracle produce identical views.
+    #[test]
+    fn streaming_matches_oracle(doc in document_strategy(), rules in rules_strategy(), open in any::<bool>()) {
+        let policy = if open { AccessPolicy::open() } else { AccessPolicy::paper() };
+        let config = EvaluatorConfig::new(rules.clone(), "user").with_policy(policy);
+        let events = doc.to_events();
+        let (streaming, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+        let oracle = authorized_view_oracle(&doc, &rules, &Subject::new("user"), None, &policy);
+        prop_assert_eq!(writer::to_string(&streaming), writer::to_string(&oracle));
+        prop_assert_eq!(stats.events_in, events.len());
+    }
+
+    /// Encrypt → skip-index → decrypt → evaluate gives the same view as
+    /// evaluating the plaintext, for any rules, with and without the index.
+    #[test]
+    fn secure_pipeline_matches_plaintext_evaluation(
+        doc in document_strategy(),
+        rules in rules_strategy(),
+        use_index in any::<bool>(),
+    ) {
+        prop_assume!(doc.root().is_some());
+        let key = SecretKey::derive(b"prop", "doc");
+        let secure = SecureDocumentBuilder::new("prop-doc", key.clone())
+            .chunk_size(128)
+            .build(&doc);
+        let mut config = EngineConfig::new(EvaluatorConfig::new(rules.clone(), "user"));
+        config.use_skip_index = use_index;
+        let (view, _) = evaluate_secure_document(&secure, &key, config).unwrap();
+        let oracle = authorized_view_oracle(
+            &doc,
+            &rules,
+            &Subject::new("user"),
+            None,
+            &AccessPolicy::paper(),
+        );
+        prop_assert_eq!(writer::to_string(&view), writer::to_string(&oracle));
+    }
+
+    /// The authorized view is always a well-formed fragment and never leaks
+    /// text from elements the oracle says are not delivered.
+    #[test]
+    fn views_are_well_formed_and_monotone(doc in document_strategy(), rules in rules_strategy()) {
+        let config = EvaluatorConfig::new(rules.clone(), "user");
+        let events = doc.to_events();
+        let (view, _) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+        if !view.is_empty() {
+            prop_assert!(sdds_xml::event::is_well_formed(&view));
+        }
+        // Adding a permit-everything rule can only grow the view.
+        let mut wider = rules.clone();
+        wider.push(Sign::Permit, "user", "/*").unwrap();
+        let config = EvaluatorConfig::new(wider, "user");
+        let (wider_view, _) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+        prop_assert!(wider_view.len() >= view.len());
+    }
+}
