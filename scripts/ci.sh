@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI-style check for the SDDS workspace: everything tier-1 requires, plus
+# keeping the bench and example targets compiling even when not executed.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --no-run
+
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
+echo "CI checks passed."

@@ -1,0 +1,13 @@
+//! Workspace facade for the SDDS reproduction (Bouganim et al., SIGMOD 2005).
+//!
+//! This crate exists to host the top-level integration tests (`tests/`) and
+//! runnable examples (`examples/`); it simply re-exports the workspace crates
+//! so downstream users can depend on a single `sdds` crate if they prefer.
+
+pub use sdds_card as card;
+pub use sdds_core as core;
+pub use sdds_crypto as crypto;
+pub use sdds_dsp as dsp;
+pub use sdds_proxy as proxy;
+pub use sdds_xml as xml;
+pub use sdds_xpath as xpath;

@@ -1,0 +1,167 @@
+//! Minimal, deterministic, dependency-free stand-in for the parts of the
+//! `rand` crate this workspace uses. The build environment has no network
+//! access to crates.io, so the workspace vendors this stub instead of the
+//! real crate. Only `rngs::SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges (`a..b` and `a..=b`), and
+//! `Rng::gen_bool` are provided — exactly the surface `sdds-xml`'s corpus
+//! generators call.
+//!
+//! The generator is SplitMix64, which passes the statistical bar needed for
+//! synthetic-document shaping (it is NOT cryptographic; the workspace's
+//! cryptography lives in `sdds-crypto` and never draws from here).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Integer types that [`Rng::gen_range`] can draw uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `end - start` as a `u64` (ranges used here always fit).
+    fn diff(end: Self, start: Self) -> u64;
+    /// `start + offset`.
+    fn add_offset(start: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn diff(end: Self, start: Self) -> u64 {
+                end.wrapping_sub(start) as u64
+            }
+            fn add_offset(start: Self, offset: u64) -> Self {
+                start.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Range shapes accepted by [`Rng::gen_range`]: `a..b` and `a..=b`.
+pub trait SampleRange<T: SampleUniform> {
+    /// Number of representable values, or `None` for an empty range.
+    fn span(&self) -> Option<u64>;
+    fn start(&self) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn span(&self) -> Option<u64> {
+        if self.end <= self.start {
+            return None;
+        }
+        Some(T::diff(self.end, self.start))
+    }
+    fn start(&self) -> T {
+        self.start
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn span(&self) -> Option<u64> {
+        if self.end() < self.start() {
+            return None;
+        }
+        // checked_add catches the full-domain `0..=u64::MAX` edge.
+        T::diff(*self.end(), *self.start()).checked_add(1)
+    }
+    fn start(&self) -> T {
+        *self.start()
+    }
+}
+
+/// Subset of `rand::Rng` used by the workspace.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `a..b` or `a..=b`. Panics on an empty range, like
+    /// the real crate.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let span = range.span().expect("cannot sample empty range");
+        T::add_offset(range.start(), self.next_u64() % span)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Subset of `rand::SeedableRng` used by the workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small, fast, deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn reversed_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        rng.gen_range(5i32..3);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
