@@ -8,7 +8,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_index_overhead");
     group.sample_size(10);
     for (label, recursive) in [("recursive", true), ("flat", false)] {
-        let config = EncoderConfig { min_index_bytes: 32, recursive_bitmaps: recursive, ..EncoderConfig::default() };
+        let config = EncoderConfig {
+            min_index_bytes: 32,
+            recursive_bitmaps: recursive,
+            ..EncoderConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
             b.iter(|| DocumentEncoder::new(*cfg).encode(&doc).stats.index_bytes)
         });

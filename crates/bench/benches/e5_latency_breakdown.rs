@@ -10,9 +10,11 @@ fn bench(c: &mut Criterion) {
         let doc = corpus.generate(1_500, &GeneratorConfig::default());
         let secure = workloads::secure(&doc, 128, 32);
         let rules = workloads::medical_rules();
-        group.bench_with_input(BenchmarkId::from_parameter(corpus.name()), &corpus, |b, _| {
-            b.iter(|| workloads::run_secure(&secure, &rules, "doctor", None, true))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(corpus.name()),
+            &corpus,
+            |b, _| b.iter(|| workloads::run_secure(&secure, &rules, "doctor", None, true)),
+        );
     }
     group.finish();
 }

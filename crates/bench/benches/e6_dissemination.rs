@@ -7,11 +7,20 @@ use sdds_proxy::apps::dissem::DisseminationApp;
 fn bench(c: &mut Criterion) {
     let stream = workloads::stream(10);
     let (rules, policy) = workloads::parental_rules();
-    let app = DisseminationApp::new(b"bench", &stream, rules, CardProfile::modern_secure_element());
+    let app = DisseminationApp::new(
+        b"bench",
+        &stream,
+        rules,
+        CardProfile::modern_secure_element(),
+    );
     let mut group = c.benchmark_group("e6_dissemination");
     group.sample_size(10);
     group.bench_function("filter_10_items", |b| {
-        b.iter(|| app.consume_in_process("child", policy).unwrap().items_delivered)
+        b.iter(|| {
+            app.consume_in_process("child", policy)
+                .unwrap()
+                .items_delivered
+        })
     });
     group.finish();
 }

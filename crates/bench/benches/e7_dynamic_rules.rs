@@ -16,16 +16,26 @@ fn bench(c: &mut Criterion) {
             let rules = workloads::medical_rules();
             let mut scheme = StaticEncryptionScheme::build(&doc, &rules, &policy);
             let mut changed = rules.clone();
-            changed.push(Sign::Permit, "nurse", "//patient/name").unwrap();
-            scheme.apply_rule_change(&doc, &changed, &policy).bytes_reencrypted
+            changed
+                .push(Sign::Permit, "nurse", "//patient/name")
+                .unwrap();
+            scheme
+                .apply_rule_change(&doc, &changed, &policy)
+                .bytes_reencrypted
         })
     });
     group.bench_function("soe_rule_refresh", |b| {
         b.iter(|| {
             let mut server = TrustedServer::new(b"bench", workloads::medical_rules());
-            server.rules_mut().push(Sign::Permit, "nurse", "//patient/name").unwrap();
+            server
+                .rules_mut()
+                .push(Sign::Permit, "nurse", "//patient/name")
+                .unwrap();
             let sealed = server.protected_rules_for(&sdds_core::rule::Subject::new("nurse"));
-            ProtectedRules::decode(&sealed.encode()).unwrap().encode().len()
+            ProtectedRules::decode(&sealed.encode())
+                .unwrap()
+                .encode()
+                .len()
         })
     });
     group.finish();

@@ -16,9 +16,16 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("dom_baseline", |b| {
         b.iter(|| {
-            DomBaseline::run(&secure, &workloads::bench_key(), &rules, &Subject::new("secretary"), None, &AccessPolicy::paper())
-                .unwrap()
-                .materialized_bytes
+            DomBaseline::run(
+                &secure,
+                &workloads::bench_key(),
+                &rules,
+                &Subject::new("secretary"),
+                None,
+                &AccessPolicy::paper(),
+            )
+            .unwrap()
+            .materialized_bytes
         })
     });
     group.finish();

@@ -2,6 +2,12 @@
 //! the paper's evaluation corresponds to.
 //!
 //! Run with: `cargo run -p sdds-bench --bin harness --release`
+//!
+//! With `--json <path>` the harness additionally writes every metric as a flat
+//! JSON object (`{"schema": "...", "metrics": {"e1.rules_64.events_per_s":
+//! ...}}`), one metric per line. `scripts/bench_gate.sh` diffs that file
+//! against the committed `BENCH_baseline.json` to catch performance
+//! regressions in CI.
 
 use std::time::Instant;
 
@@ -23,30 +29,78 @@ fn banner(id: &str, title: &str) {
     println!("==================================================================");
 }
 
-fn e1_rules_scaling() {
+/// Flat metric collector backing the `--json` report. Keys are dotted,
+/// stable identifiers (`e1.rules_64.events_per_s`); values are finite numbers.
+#[derive(Debug, Default)]
+struct Report {
+    metrics: Vec<(String, f64)>,
+}
+
+impl Report {
+    fn put(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
+    }
+
+    /// Renders the report as JSON, one metric per line (trivially greppable by
+    /// the shell-side bench gate, still valid JSON for everything else).
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"sdds-bench-v1\",\n  \"metrics\": {\n");
+        for (i, (key, value)) in self.metrics.iter().enumerate() {
+            let sep = if i + 1 < self.metrics.len() { "," } else { "" };
+            let rendered = if value.fract() == 0.0 && value.abs() < 1e15 {
+                format!("{}", *value as i64)
+            } else {
+                format!("{value:.4}")
+            };
+            out.push_str(&format!("    \"{key}\": {rendered}{sep}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Repetitions per E1 configuration: the best run is reported so that the
+/// bench-regression gate compares capability, not scheduler noise.
+const E1_REPS: usize = 3;
+
+fn e1_rules_scaling(report: &mut Report) {
     banner("E1", "streaming evaluation cost vs. number of access rules");
     let doc = workloads::hospital(4_000);
     let events = doc.to_events();
     println!("document: {}", DocStats::from_events(&events).summary());
-    println!("{:>8} {:>14} {:>16} {:>14}", "#rules", "wall time (ms)", "events/s", "peak RAM (B)");
+    println!(
+        "{:>8} {:>14} {:>16} {:>14}",
+        "#rules", "wall time (ms)", "events/s", "peak RAM (B)"
+    );
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         let rules = workloads::rule_pool(n);
         let config = EvaluatorConfig::new(rules, "subject");
-        let start = Instant::now();
-        let (_, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
-        let elapsed = start.elapsed().as_secs_f64();
+        let mut best = f64::INFINITY;
+        let mut peak_ram = 0usize;
+        for _ in 0..E1_REPS {
+            let start = Instant::now();
+            let (_, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+            best = best.min(start.elapsed().as_secs_f64());
+            peak_ram = stats.peak_ram_bytes();
+        }
+        let events_per_s = events.len() as f64 / best;
         println!(
             "{:>8} {:>14.2} {:>16.0} {:>14}",
             n,
-            elapsed * 1e3,
-            events.len() as f64 / elapsed,
-            stats.peak_ram_bytes()
+            best * 1e3,
+            events_per_s,
+            peak_ram
         );
+        report.put(format!("e1.rules_{n}.events_per_s"), events_per_s.round());
+        report.put(format!("e1.rules_{n}.peak_ram_bytes"), peak_ram as f64);
     }
 }
 
-fn e2_skip_index() {
-    banner("E2", "skip index: transferred/decrypted volume, with vs. without");
+fn e2_skip_index(report: &mut Report) {
+    banner(
+        "E2",
+        "skip index: transferred/decrypted volume, with vs. without",
+    );
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",
         "elements", "subject", "plain (B)", "no-index (B)", "index (B)", "saving", "egate (s)"
@@ -55,7 +109,8 @@ fn e2_skip_index() {
         let doc = workloads::hospital(elements);
         let secure = workloads::secure(&doc, 128, 32);
         for subject in ["doctor", "secretary"] {
-            let with = workloads::run_secure(&secure, &workloads::medical_rules(), subject, None, true);
+            let with =
+                workloads::run_secure(&secure, &workloads::medical_rules(), subject, None, true);
             let without =
                 workloads::run_secure(&secure, &workloads::medical_rules(), subject, None, false);
             let saving = 1.0
@@ -70,12 +125,25 @@ fn e2_skip_index() {
                 saving * 100.0,
                 workloads::egate_seconds(&with),
             );
+            let prefix = format!("e2.n{elements}.{subject}");
+            report.put(
+                format!("{prefix}.decrypted_bytes_no_index"),
+                without.ledger.bytes_decrypted as f64,
+            );
+            report.put(
+                format!("{prefix}.decrypted_bytes_with_index"),
+                with.ledger.bytes_decrypted as f64,
+            );
+            report.put(format!("{prefix}.saving_pct"), (saving * 100.0).round());
         }
     }
 }
 
-fn e3_index_overhead() {
-    banner("E3", "skip index compactness (overhead vs. recursive compression)");
+fn e3_index_overhead(report: &mut Report) {
+    banner(
+        "E3",
+        "skip index compactness (overhead vs. recursive compression)",
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "corpus", "tokens (B)", "summaries", "index (B)", "overhead", "recursive"
@@ -98,12 +166,20 @@ fn e3_index_overhead() {
                 enc.index_overhead() * 100.0,
                 recursive
             );
+            let mode = if recursive { "recursive" } else { "flat" };
+            report.put(
+                format!("e3.{}.{mode}.index_bytes", corpus.name()),
+                enc.stats.index_bytes as f64,
+            );
         }
     }
 }
 
-fn e4_ram_budget() {
-    banner("E4", "secure working memory vs. document depth and rule count (1 KiB budget)");
+fn e4_ram_budget(report: &mut Report) {
+    banner(
+        "E4",
+        "secure working memory vs. document depth and rule count (1 KiB budget)",
+    );
     println!(
         "{:>8} {:>8} {:>16} {:>14}",
         "depth", "#rules", "peak RAM (B)", "fits e-gate?"
@@ -124,11 +200,15 @@ fn e4_ram_budget() {
                 peak,
                 if peak <= budget { "yes" } else { "NO" }
             );
+            report.put(
+                format!("e4.depth_{depth}.rules_{n_rules}.peak_ram_bytes"),
+                peak as f64,
+            );
         }
     }
 }
 
-fn e5_latency_breakdown() {
+fn e5_latency_breakdown(report: &mut Report) {
     banner("E5", "pull-mode latency breakdown on the e-gate cost model");
     for corpus in [Corpus::Hospital, Corpus::Community, Corpus::Catalog] {
         let doc = corpus.generate(2_000, &GeneratorConfig::default());
@@ -145,42 +225,65 @@ fn e5_latency_breakdown() {
         let modern = stats.ledger.breakdown(&CostModel::modern_secure_element());
         println!(
             "{:>10}  (modern secure element: total {:.1} ms)",
-            "", modern.total().as_secs_f64() * 1e3
+            "",
+            modern.total().as_secs_f64() * 1e3
+        );
+        report.put(
+            format!("e5.{}.egate_total_ms", corpus.name()),
+            (breakdown.total().as_secs_f64() * 1e3).round(),
         );
     }
 }
 
-fn e6_dissemination() {
-    banner("E6", "push-mode selective dissemination throughput (parental control)");
+fn e6_dissemination(report: &mut Report) {
+    banner(
+        "E6",
+        "push-mode selective dissemination throughput (parental control)",
+    );
     let stream = workloads::stream(30);
     let (rules, policy) = workloads::parental_rules();
-    let app = DisseminationApp::new(b"bench", &stream, rules, CardProfile::modern_secure_element());
-    let report = app.consume_in_process("child", policy).unwrap();
+    let app = DisseminationApp::new(
+        b"bench",
+        &stream,
+        rules,
+        CardProfile::modern_secure_element(),
+    );
+    let dissem = app.consume_in_process("child", policy).unwrap();
     println!(
         "items: {} delivered / {} blocked; worst per-item latency {:.1} ms; total {:.2} s; skipped {} B",
-        report.items_delivered,
-        report.items_blocked,
-        report.max_item_latency.as_secs_f64() * 1e3,
-        report.total_latency.as_secs_f64(),
-        report.bytes_skipped
+        dissem.items_delivered,
+        dissem.items_blocked,
+        dissem.max_item_latency.as_secs_f64() * 1e3,
+        dissem.total_latency.as_secs_f64(),
+        dissem.bytes_skipped
     );
     for period_ms in [500u64, 1000, 2000] {
         println!(
             "  sustains 1 item / {period_ms} ms on the e-gate model: {}",
-            report.meets_real_time(std::time::Duration::from_millis(period_ms))
+            dissem.meets_real_time(std::time::Duration::from_millis(period_ms))
         );
     }
+    report.put("e6.items_delivered", dissem.items_delivered as f64);
+    report.put("e6.items_blocked", dissem.items_blocked as f64);
+    report.put(
+        "e6.max_item_latency_ms",
+        (dissem.max_item_latency.as_secs_f64() * 1e3).round(),
+    );
 }
 
-fn e7_dynamic_rules() {
-    banner("E7", "cost of a policy change: SOE approach vs. server-side static encryption");
+fn e7_dynamic_rules(report: &mut Report) {
+    banner(
+        "E7",
+        "cost of a policy change: SOE approach vs. server-side static encryption",
+    );
     let doc = workloads::hospital(2_000);
     let policy = AccessPolicy::paper();
     println!(
         "{:>28} {:>18} {:>14} {:>12}",
         "policy change", "re-encrypted (B)", "keys redistrib.", "SOE cost (B)"
     );
-    let changes: Vec<(&str, Box<dyn Fn(&mut RuleSet)>)> = vec![
+    type RuleChange<'a> = (&'a str, Box<dyn Fn(&mut RuleSet)>);
+    let changes: Vec<RuleChange> = vec![
         (
             "grant nurse //patient/name",
             Box::new(|r: &mut RuleSet| {
@@ -190,7 +293,8 @@ fn e7_dynamic_rules() {
         (
             "revoke secretary address",
             Box::new(|r: &mut RuleSet| {
-                r.push(Sign::Deny, "secretary", "//patient/address").unwrap();
+                r.push(Sign::Deny, "secretary", "//patient/address")
+                    .unwrap();
             }),
         ),
         (
@@ -202,7 +306,7 @@ fn e7_dynamic_rules() {
     ];
     let mut rules = workloads::medical_rules();
     let mut scheme = StaticEncryptionScheme::build(&doc, &rules, &policy);
-    for (label, change) in changes {
+    for (i, (label, change)) in changes.into_iter().enumerate() {
         change(&mut rules);
         let cost = scheme.apply_rule_change(&doc, &rules, &policy);
         // The SOE approach only ships a new protected rule set to the subject.
@@ -211,28 +315,59 @@ fn e7_dynamic_rules() {
             "{:>28} {:>18} {:>14} {:>12}",
             label, cost.bytes_reencrypted, cost.keys_redistributed, soe_cost
         );
+        report.put(
+            format!("e7.change_{i}.bytes_reencrypted"),
+            cost.bytes_reencrypted as f64,
+        );
+        report.put(format!("e7.change_{i}.soe_cost_bytes"), soe_cost as f64);
     }
     println!(
         "(static scheme: {} equivalence classes; doctor holds {} keys)",
         scheme.class_count(),
         scheme.keys_held_by(&Subject::new("doctor"))
     );
+
+    // On-card side of a policy change: the combined dispatch automaton must
+    // rebuild (and remap the live runs) while a document is half-processed.
+    let events = doc.to_events();
+    let config = EvaluatorConfig::new(workloads::medical_rules(), "doctor");
+    let mut evaluator = StreamingEvaluator::new(&config).unwrap();
+    for ev in &events[..events.len() / 2] {
+        evaluator.push(ev);
+    }
+    let grant = sdds_core::rule::AccessRule::permit(999, "doctor", "//patient/weight")
+        .expect("static rule parses");
+    let cycles = 100usize;
+    let start = Instant::now();
+    for _ in 0..cycles {
+        evaluator.add_rule(&grant).expect("rule compiles");
+        assert!(evaluator.remove_rule(sdds_core::rule::RuleId(999)));
+    }
+    let per_change_us = start.elapsed().as_secs_f64() * 1e6 / (cycles as f64 * 2.0);
+    println!("mid-stream rule change (rebuild + run remap): {per_change_us:.1} µs/change");
+    report.put("e7.midstream_rebuild_us", per_change_us.round().max(1.0));
 }
 
-fn e8_query_mix() {
-    banner("E8", "query + access control: fetched volume per query selectivity");
+fn e8_query_mix(report: &mut Report) {
+    banner(
+        "E8",
+        "query + access control: fetched volume per query selectivity",
+    );
     let doc = workloads::hospital(4_000);
     let secure = workloads::secure(&doc, 128, 32);
     println!(
         "{:>34} {:>12} {:>12} {:>12}",
         "query (subject = doctor)", "fetched (B)", "skipped (B)", "egate (s)"
     );
-    for query in [
+    for (i, query) in [
         "//patient",
         "//patient/name",
         "//acts/act[@type = \"surgery\"]",
         "//patient[@id = \"P00003\"]",
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let stats = workloads::run_secure(
             &secure,
             &workloads::medical_rules(),
@@ -247,11 +382,18 @@ fn e8_query_mix() {
             stats.ledger.bytes_skipped,
             workloads::egate_seconds(&stats)
         );
+        report.put(
+            format!("e8.query_{i}.decrypted_bytes"),
+            stats.ledger.bytes_decrypted as f64,
+        );
     }
 }
 
-fn e9_streaming_vs_dom() {
-    banner("E9", "streaming SOE engine vs. DOM materialisation baseline");
+fn e9_streaming_vs_dom(report: &mut Report) {
+    banner(
+        "E9",
+        "streaming SOE engine vs. DOM materialisation baseline",
+    );
     println!(
         "{:>10} {:>18} {:>18} {:>16} {:>16}",
         "elements", "SOE peak RAM (B)", "DOM footprint (B)", "SOE decrypt (B)", "DOM decrypt (B)"
@@ -260,7 +402,21 @@ fn e9_streaming_vs_dom() {
         let doc = workloads::hospital(elements);
         let secure = workloads::secure(&doc, 128, 32);
         let rules = workloads::medical_rules();
-        let soe = workloads::run_secure(&secure, &rules, "secretary", None, true);
+        // Best-of-N timing, like E1: the gate compares capability, not noise.
+        let mut soe_elapsed = f64::INFINITY;
+        let mut soe = None;
+        for _ in 0..E1_REPS {
+            let start = Instant::now();
+            soe = Some(workloads::run_secure(
+                &secure,
+                &rules,
+                "secretary",
+                None,
+                true,
+            ));
+            soe_elapsed = soe_elapsed.min(start.elapsed().as_secs_f64());
+        }
+        let soe = soe.expect("E1_REPS >= 1");
         let dom = DomBaseline::run(
             &secure,
             &workloads::bench_key(),
@@ -278,22 +434,60 @@ fn e9_streaming_vs_dom() {
             soe.ledger.bytes_decrypted,
             dom.ledger.bytes_decrypted
         );
+        let prefix = format!("e9.n{elements}");
+        report.put(
+            format!("{prefix}.soe_peak_ram_bytes"),
+            soe.evaluator.map(|e| e.peak_ram_bytes()).unwrap_or(0) as f64,
+        );
+        report.put(
+            format!("{prefix}.dom_footprint_bytes"),
+            dom.materialized_bytes as f64,
+        );
+        report.put(
+            format!("{prefix}.soe_events_per_s"),
+            (soe.ledger.events_processed as f64 / soe_elapsed).round(),
+        );
     }
 }
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (supported: --json <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let start = Instant::now();
-    e1_rules_scaling();
-    e2_skip_index();
-    e3_index_overhead();
-    e4_ram_budget();
-    e5_latency_breakdown();
-    e6_dissemination();
-    e7_dynamic_rules();
-    e8_query_mix();
-    e9_streaming_vs_dom();
+    let mut report = Report::default();
+    e1_rules_scaling(&mut report);
+    e2_skip_index(&mut report);
+    e3_index_overhead(&mut report);
+    e4_ram_budget(&mut report);
+    e5_latency_breakdown(&mut report);
+    e6_dissemination(&mut report);
+    e7_dynamic_rules(&mut report);
+    e8_query_mix(&mut report);
+    e9_streaming_vs_dom(&mut report);
     println!(
         "\nharness completed in {:.1} s",
         start.elapsed().as_secs_f64()
     );
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("metrics written to {path}");
+    }
 }

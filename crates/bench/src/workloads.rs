@@ -97,14 +97,18 @@ pub fn run_secure(
     }
     let mut config = EngineConfig::new(evaluator);
     config.use_skip_index = use_skip_index;
-    let (_, stats) =
-        evaluate_secure_document(document, &bench_key(), config).expect("secure evaluation succeeds");
+    let (_, stats) = evaluate_secure_document(document, &bench_key(), config)
+        .expect("secure evaluation succeeds");
     stats
 }
 
 /// Convenience: simulated e-gate latency (seconds) of a session.
 pub fn egate_seconds(stats: &SessionStats) -> f64 {
-    stats.ledger.breakdown(&CostModel::egate()).total().as_secs_f64()
+    stats
+        .ledger
+        .breakdown(&CostModel::egate())
+        .total()
+        .as_secs_f64()
 }
 
 /// A dissemination stream of `items` items.

@@ -110,7 +110,11 @@ impl Apdu {
 
     /// Serialised length on the wire: header (4) + Lc (1 if data) + data + Le (1).
     pub fn wire_len(&self) -> usize {
-        4 + if self.data.is_empty() { 0 } else { 1 + self.data.len() } + 1
+        4 + if self.data.is_empty() {
+            0
+        } else {
+            1 + self.data.len()
+        } + 1
     }
 
     /// Serialises the command.
@@ -132,7 +136,10 @@ impl Apdu {
     pub fn decode(bytes: &[u8]) -> Result<Self, CardError> {
         if bytes.len() < 5 {
             return Err(CardError::MalformedApdu {
-                message: format!("APDU of {} bytes is shorter than the 5-byte minimum", bytes.len()),
+                message: format!(
+                    "APDU of {} bytes is shorter than the 5-byte minimum",
+                    bytes.len()
+                ),
             });
         }
         let (cla, ins, p1, p2) = (bytes[0], bytes[1], bytes[2], bytes[3]);

@@ -231,7 +231,9 @@ mod tests {
         ledger.record_decrypt(100_000);
         ledger.record_events(50_000);
         let old = ledger.breakdown(&CostModel::egate()).total();
-        let new = ledger.breakdown(&CostModel::modern_secure_element()).total();
+        let new = ledger
+            .breakdown(&CostModel::modern_secure_element())
+            .total();
         assert!(new < old);
     }
 

@@ -16,7 +16,7 @@ use sdds_xpath::{Axis, Comparison, NodeTest, Path, Predicate, PredicateTarget};
 use crate::error::CoreError;
 
 /// One step of a compiled predicate path (no nested predicates allowed).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RelStep {
     /// Axis from the previous step (or from the context node for the first).
     pub axis: Axis,
@@ -25,7 +25,7 @@ pub struct RelStep {
 }
 
 /// A value condition attached to the end of a predicate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ValueCondition {
     /// Comparison operator.
     pub op: Comparison,
@@ -41,7 +41,7 @@ impl ValueCondition {
 }
 
 /// A predicate compiled for streaming evaluation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CompiledPredicate {
     /// `[@name]` / `[@name = "v"]` — decidable immediately on the `open` event
     /// of the context element.
@@ -277,7 +277,9 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &c.steps[0].deferred[1] {
-            CompiledPredicate::RelPath { steps, attribute, .. } => {
+            CompiledPredicate::RelPath {
+                steps, attribute, ..
+            } => {
                 assert_eq!(steps.len(), 1);
                 assert!(attribute.is_none());
             }

@@ -164,7 +164,11 @@ fn emit_view(
             let is_delivered = delivered.get(&node).copied().unwrap_or(false);
             events.push(Event::Open {
                 name: name.clone(),
-                attrs: if is_delivered { attrs.clone() } else { Vec::new() },
+                attrs: if is_delivered {
+                    attrs.clone()
+                } else {
+                    Vec::new()
+                },
             });
             for child in doc.children(node) {
                 emit_view(doc, *child, delivered, needed, events);
@@ -291,7 +295,11 @@ impl StaticEncryptionScheme {
                 .filter(|(_, delivered)| delivered.get(&node).copied().unwrap_or(false))
                 .map(|(s, _)| s.clone())
                 .collect();
-            let size = doc.subtree_events(node).iter().map(Event::serialized_len).sum::<usize>()
+            let size = doc
+                .subtree_events(node)
+                .iter()
+                .map(Event::serialized_len)
+                .sum::<usize>()
                 / doc.subtree_element_count(node).max(1);
             node_access.push((node, readers, size));
         }
@@ -464,8 +472,7 @@ mod tests {
         )
         .unwrap();
         // Same view as the oracle (and hence as the streaming engine).
-        let oracle =
-            authorized_view_oracle(&doc, &rules(), &subject, None, &AccessPolicy::paper());
+        let oracle = authorized_view_oracle(&doc, &rules(), &subject, None, &AccessPolicy::paper());
         assert_eq!(writer::to_string(&report.view), writer::to_string(&oracle));
         // Full transfer and decryption.
         assert_eq!(
@@ -515,7 +522,10 @@ mod tests {
             .unwrap();
 
         let cost = scheme.apply_rule_change(&doc, &new_rules, &policy);
-        assert!(cost.bytes_reencrypted > 0, "reader sets of name elements changed");
+        assert!(
+            cost.bytes_reencrypted > 0,
+            "reader sets of name elements changed"
+        );
         assert!(cost.classes_rekeyed >= 1);
         assert!(cost.keys_redistributed >= 1);
 

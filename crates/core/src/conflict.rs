@@ -181,21 +181,33 @@ mod tests {
     fn denial_takes_precedence_among_direct_rules() {
         let p = AccessPolicy::paper();
         assert_eq!(resolve(&p, &[permit(0), deny(1)], None), Decision::Deny);
-        assert_eq!(resolve(&p, &[deny(1), permit(0)], Some(Decision::Permit)), Decision::Deny);
+        assert_eq!(
+            resolve(&p, &[deny(1), permit(0)], Some(Decision::Permit)),
+            Decision::Deny
+        );
         let lenient = AccessPolicy {
             denial_takes_precedence: false,
             ..AccessPolicy::paper()
         };
-        assert_eq!(resolve(&lenient, &[permit(0), deny(1)], None), Decision::Permit);
+        assert_eq!(
+            resolve(&lenient, &[permit(0), deny(1)], None),
+            Decision::Permit
+        );
     }
 
     #[test]
     fn most_specific_object_takes_precedence() {
         let p = AccessPolicy::paper();
         // A direct permission overrides an inherited prohibition.
-        assert_eq!(resolve(&p, &[permit(0)], Some(Decision::Deny)), Decision::Permit);
+        assert_eq!(
+            resolve(&p, &[permit(0)], Some(Decision::Deny)),
+            Decision::Permit
+        );
         // A direct prohibition overrides an inherited permission.
-        assert_eq!(resolve(&p, &[deny(0)], Some(Decision::Permit)), Decision::Deny);
+        assert_eq!(
+            resolve(&p, &[deny(0)], Some(Decision::Permit)),
+            Decision::Deny
+        );
         // No direct rule: the propagated decision applies.
         assert_eq!(resolve(&p, &[], Some(Decision::Permit)), Decision::Permit);
         assert_eq!(resolve(&p, &[], Some(Decision::Deny)), Decision::Deny);

@@ -192,7 +192,11 @@ impl SecureEvaluationSession {
     }
 
     fn current_ram(&self) -> usize {
-        let reader = self.reader.as_ref().map(TokenReader::window_bytes).unwrap_or(0);
+        let reader = self
+            .reader
+            .as_ref()
+            .map(TokenReader::window_bytes)
+            .unwrap_or(0);
         let evaluator = self
             .evaluator
             .as_ref()
@@ -267,7 +271,9 @@ impl SecureEvaluationSession {
 
         // 3. Feed the reader (building it first if the dictionary is still
         //    incomplete).
-        if self.reader.is_none() {
+        if let Some(reader) = self.reader.as_mut() {
+            reader.supply(chunk_start, &plaintext)?;
+        } else {
             self.dict_buf.extend_from_slice(&plaintext);
             if (self.dict_buf.len() as u64) < self.header.tokens_start {
                 self.next_chunk += 1;
@@ -289,11 +295,6 @@ impl SecureEvaluationSession {
             reader.supply(self.header.tokens_start, &rest)?;
             self.dict_buf.clear();
             self.reader = Some(reader);
-        } else {
-            self.reader
-                .as_mut()
-                .expect("reader present")
-                .supply(chunk_start, &plaintext)?;
         }
 
         // 4. Pump the reader.
@@ -324,7 +325,7 @@ impl SecureEvaluationSession {
                 .reader
                 .as_mut()
                 .expect("pump requires a reader")
-                .next()?;
+                .next_token()?;
             match result {
                 ReadResult::Token(TokenEvent::Event(event)) => {
                     let evaluator = self.evaluator.as_mut().ok_or_else(|| CoreError::BadState {
@@ -559,7 +560,11 @@ impl AccessControlApplet {
         match KeyProvisioning::decode(&command.data) {
             Ok(provisioning) => match provisioning.unwrap_key(&self.transport_key) {
                 Ok(key) => {
-                    if card.keys().install(KeyId(provisioning.key_id), key).is_err() {
+                    if card
+                        .keys()
+                        .install(KeyId(provisioning.key_id), key)
+                        .is_err()
+                    {
                         return ApduResponse::error(StatusWord::MEMORY_FAILURE);
                     }
                     ApduResponse::ok_empty()
@@ -642,8 +647,8 @@ impl AccessControlApplet {
         if let Some(query) = &self.query {
             evaluator_config = evaluator_config.with_query(query.clone());
         }
-        let mut config = EngineConfig::new(evaluator_config)
-            .with_ram_budget(card.profile().ram_bytes);
+        let mut config =
+            EngineConfig::new(evaluator_config).with_ram_budget(card.profile().ram_bytes);
         config.use_skip_index = self.use_skip_index;
         match SecureEvaluationSession::open(header, key, config) {
             Ok(session) => {
@@ -900,12 +905,10 @@ mod tests {
         let doc = hospital_doc(2);
         let secure = SecureDocumentBuilder::new("folder", key()).build(&doc);
         let wrong = SecretKey::derive(b"other", "documents");
-        assert!(SecureEvaluationSession::open(
-            secure.header.clone(),
-            wrong,
-            config_for("doctor")
-        )
-        .is_err());
+        assert!(
+            SecureEvaluationSession::open(secure.header.clone(), wrong, config_for("doctor"))
+                .is_err()
+        );
     }
 
     #[test]
@@ -1016,9 +1019,7 @@ mod tests {
             for (i, frag) in fragments.iter().enumerate() {
                 let more = u8::from(i + 1 < fragments.len());
                 runtime
-                    .exchange_expect_ok(
-                        &Apdu::new(ins::PUT_RULES, more, 0, frag.to_vec()).unwrap(),
-                    )
+                    .exchange_expect_ok(&Apdu::new(ins::PUT_RULES, more, 0, frag.to_vec()).unwrap())
                     .unwrap();
             }
         }
@@ -1077,11 +1078,9 @@ mod tests {
             let server = TrustedServer::new(b"community", medical_rules());
             let subject = Subject::new("secretary");
             let doc = hospital_doc(3);
-            let secure =
-                SecureDocumentBuilder::new("folder", server.document_key()).build(&doc);
+            let secure = SecureDocumentBuilder::new("folder", server.document_key()).build(&doc);
 
-            let applet =
-                AccessControlApplet::new("secretary", server.transport_key_for(&subject));
+            let applet = AccessControlApplet::new("secretary", server.transport_key_for(&subject));
             // The modern profile gives the session enough applet RAM for a
             // 512-byte chunk plus the evaluator working set.
             let mut runtime = CardRuntime::new(CardProfile::modern_secure_element(), applet);
@@ -1108,14 +1107,12 @@ mod tests {
             let server = TrustedServer::new(b"community", medical_rules());
             let subject = Subject::new("doctor");
             let doc = hospital_doc(1);
-            let secure =
-                SecureDocumentBuilder::new("folder", server.document_key()).build(&doc);
+            let secure = SecureDocumentBuilder::new("folder", server.document_key()).build(&doc);
             let applet = AccessControlApplet::new("doctor", server.transport_key_for(&subject));
             let mut runtime = CardRuntime::new(CardProfile::modern_secure_element(), applet);
             // No rules installed yet.
-            let resp = runtime.exchange(
-                &Apdu::new(ins::OPEN_SESSION, 0, 0, secure.header.encode()).unwrap(),
-            );
+            let resp = runtime
+                .exchange(&Apdu::new(ins::OPEN_SESSION, 0, 0, secure.header.encode()).unwrap());
             assert_eq!(resp.status, StatusWord::CONDITIONS_NOT_SATISFIED);
             // Unknown instruction.
             let resp = runtime.exchange(&Apdu::simple(0x99, 0, 0));
@@ -1143,8 +1140,8 @@ mod tests {
             let mut last = ApduResponse::ok_empty();
             for (i, frag) in fragments.iter().enumerate() {
                 let more = u8::from(i + 1 < fragments.len());
-                last = runtime
-                    .exchange(&Apdu::new(ins::PUT_RULES, more, 0, frag.to_vec()).unwrap());
+                last =
+                    runtime.exchange(&Apdu::new(ins::PUT_RULES, more, 0, frag.to_vec()).unwrap());
             }
             assert_eq!(last.status, StatusWord::SECURITY_NOT_SATISFIED);
         }

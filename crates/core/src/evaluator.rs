@@ -81,6 +81,7 @@ impl EvaluatorStats {
 pub struct StreamingEvaluator {
     engine: RuleEngine,
     assembler: ViewAssembler,
+    subject: Subject,
     events_in: usize,
     events_out: usize,
 }
@@ -99,6 +100,7 @@ impl StreamingEvaluator {
         Ok(StreamingEvaluator {
             engine: RuleEngine::new(compiled, query),
             assembler: ViewAssembler::new(config.policy, has_query),
+            subject: config.subject.clone(),
             events_in: 0,
             events_out: 0,
         })
@@ -107,6 +109,29 @@ impl StreamingEvaluator {
     /// Number of rules installed for the session's subject.
     pub fn rule_count(&self) -> usize {
         self.engine.rules().len()
+    }
+
+    /// Installs an additional rule mid-stream (experiment E7: dynamic access
+    /// rights). Like at construction, a rule granted to a different subject is
+    /// ignored — a policy delta may carry every subject's rules, and this
+    /// session must only ever honour its own. The engine's combined dispatch
+    /// automaton is rebuilt incrementally; matches of the existing rules are
+    /// unaffected and the new rule applies from the current stream position
+    /// onwards (retroactivity over the currently open subtree is best-effort —
+    /// see [`crate::runtime::RuleEngine::add_rule`]; apply policy changes
+    /// between documents when exactness matters). Fails if the rule's id is
+    /// already installed.
+    pub fn add_rule(&mut self, rule: &crate::rule::AccessRule) -> Result<(), CoreError> {
+        if rule.subject != self.subject {
+            return Ok(());
+        }
+        self.engine
+            .add_rule(crate::runtime::EngineRule::compile(rule)?)
+    }
+
+    /// Removes a rule by id mid-stream; returns true if it was installed.
+    pub fn remove_rule(&mut self, id: crate::rule::RuleId) -> bool {
+        self.engine.remove_rule(id)
     }
 
     /// Feeds one event and returns the authorized events that became ready.
@@ -284,6 +309,21 @@ mod tests {
     }
 
     #[test]
+    fn add_rule_honours_the_session_subject() {
+        let config = EvaluatorConfig::new(medical_rules(), "secretary");
+        let mut eval = StreamingEvaluator::new(&config).unwrap();
+        assert_eq!(eval.rule_count(), 3);
+        // A policy delta may carry every subject's rules: a doctor grant must
+        // not widen the secretary's session.
+        let doctor = crate::rule::AccessRule::permit(100, "doctor", "//patient/ssn").unwrap();
+        eval.add_rule(&doctor).unwrap();
+        assert_eq!(eval.rule_count(), 3);
+        let own = crate::rule::AccessRule::permit(101, "secretary", "//patient/phone").unwrap();
+        eval.add_rule(&own).unwrap();
+        assert_eq!(eval.rule_count(), 4);
+    }
+
+    #[test]
     fn push_streams_output_incrementally() {
         let config = EvaluatorConfig::new(medical_rules(), "doctor");
         let mut eval = StreamingEvaluator::new(&config).unwrap();
@@ -297,7 +337,10 @@ mod tests {
                 produced_early = true;
             }
         }
-        assert!(produced_early, "output should stream before the end of input");
+        assert!(
+            produced_early,
+            "output should stream before the end of input"
+        );
         let (rest, stats) = eval.finish().unwrap();
         total += rest.len();
         assert_eq!(total, stats.events_out);
@@ -330,7 +373,9 @@ mod tests {
     #[test]
     fn unparseable_rule_surfaces_at_construction() {
         let mut rules = RuleSet::new();
-        rules.push(crate::rule::Sign::Permit, "bob", "//a[b[c]]").unwrap();
+        rules
+            .push(crate::rule::Sign::Permit, "bob", "//a[b[c]]")
+            .unwrap();
         let config = EvaluatorConfig::new(rules, "bob");
         assert!(StreamingEvaluator::new(&config).is_err());
     }
@@ -338,8 +383,7 @@ mod tests {
     #[test]
     fn open_policy_with_negative_rules_only() {
         let rules = RuleSet::parse("-, child, //item[rating > 12]").unwrap();
-        let config = EvaluatorConfig::new(rules, "child")
-            .with_policy(AccessPolicy::open());
+        let config = EvaluatorConfig::new(rules, "child").with_policy(AccessPolicy::open());
         let doc = "<stream><item><rating>7</rating><title>ok</title></item>\
                    <item><rating>16</rating><title>blocked</title></item></stream>";
         let events = Parser::parse_all(doc).unwrap();

@@ -15,6 +15,10 @@
 //!   algebra used by the evaluator,
 //! * [`automaton`] — compilation of each rule into a non-deterministic automaton
 //!   made of a navigational path and predicate paths (Figure 2 of the paper),
+//! * [`dispatch`] — the shared dispatch automaton: all rule automata merged
+//!   into one prefix-sharing transition structure over interned name symbols,
+//!   so per-event work scales with the rules that can actually advance instead
+//!   of the installed rule count,
 //! * [`runtime`] — the streaming execution of those automata over `open` /
 //!   `value` / `close` events: token stack, predicate set, pending rules,
 //! * [`assembler`] — the sign-stack / authorized-view construction: conflict
@@ -40,6 +44,7 @@ pub mod assembler;
 pub mod automaton;
 pub mod baseline;
 pub mod conflict;
+pub mod dispatch;
 pub mod engine;
 pub mod error;
 pub mod evaluator;

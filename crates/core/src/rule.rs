@@ -183,7 +183,12 @@ impl RuleSet {
     }
 
     /// Adds a rule, assigning it the next free id, and bumps the version.
-    pub fn push(&mut self, sign: Sign, subject: impl Into<String>, object: &str) -> Result<RuleId, CoreError> {
+    pub fn push(
+        &mut self,
+        sign: Sign,
+        subject: impl Into<String>,
+        object: &str,
+    ) -> Result<RuleId, CoreError> {
         let id = self.rules.iter().map(|r| r.id.0 + 1).max().unwrap_or(0);
         self.rules.push(AccessRule::new(id, sign, subject, object)?);
         self.version += 1;

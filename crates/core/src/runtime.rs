@@ -1,4 +1,5 @@
-//! Streaming execution of the rule automata (§2.3).
+//! Streaming execution of the rule automata (§2.3), over the shared dispatch
+//! automaton of [`crate::dispatch`].
 //!
 //! "When an open or a value event is received, all the automata are checked
 //! and go to their next state. Upon receiving a close event, all the automata
@@ -8,19 +9,33 @@
 //! a predicate set which records all the final states of predicates that have
 //! been reached. [...] the rule is said to be pending [...]"
 //!
-//! [`RuleEngine`] implements exactly that machinery:
+//! [`RuleEngine`] implements that machinery, but instead of checking *all* the
+//! automata per event (which scales linearly with the installed rule count —
+//! the E1 cliff), it dispatches through one combined structure:
 //!
 //! * the **token stack** is the per-depth [`Frame`] vector: every navigational
 //!   state activated by an element is recorded in that element's frame and
 //!   discarded when the element closes (backtracking),
+//! * active states sit on [`DispatchTable`] trie nodes shared by every rule
+//!   with the same step prefix, and are additionally indexed in **per-symbol
+//!   buckets**: an `open` event interns its name to a symbol (one hash probe)
+//!   and only touches the states actually waiting on that symbol (plus the
+//!   wildcard waiters),
 //! * the **predicate set** is the [`InstanceId`] space: every deferred
 //!   predicate encountered along a navigational run spawns a *pending
-//!   instance*, resolved to `true` when its predicate path reaches its final
-//!   state (and its value condition holds) or to `false` when its context
-//!   element closes,
+//!   instance* referencing an arena-backed [`PredProgram`] (no per-instance
+//!   copy of the predicate), resolved to `true` when its predicate path
+//!   reaches its final state (and its value condition holds) or to `false`
+//!   when its context element closes,
 //! * **pending rules** are rule matches whose status is
 //!   [`MatchAlternatives`] with unresolved instances; the decision they imply
 //!   is deferred by the view assembler until the instances resolve.
+//!
+//! Rules can be added and removed mid-stream ([`RuleEngine::add_rule`] /
+//! [`RuleEngine::remove_rule`]): the dispatch trie is rebuilt (symbols and
+//! predicate programs are append-only, so live state stays valid) and the
+//! active runs are remapped onto the new trie, preserving the matches of every
+//! rule that survives the change.
 //!
 //! The engine does **not** decide anything by itself: it annotates the event
 //! stream with the rule/query matches of each node and emits instance
@@ -32,7 +47,8 @@ use std::collections::HashMap;
 use sdds_xml::{Attribute, Event};
 use sdds_xpath::Axis;
 
-use crate::automaton::{CompiledPath, CompiledPredicate, RelStep, ValueCondition};
+use crate::automaton::{CompiledPath, ValueCondition};
+use crate::dispatch::{DispatchTable, EdgeId, NodeId, PredId, Target};
 use crate::rule::{AccessRule, RuleId, Sign};
 
 /// Identifier of a pending predicate instance (an entry of the paper's
@@ -148,27 +164,20 @@ pub enum EngineOutput {
     },
 }
 
-/// What a navigational run belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Target {
-    Rule(usize),
-    Query,
-}
-
-/// An active navigational state: `position` steps of `target` are matched, the
-/// last of them by the element owning the frame this run is stored in.
+/// An active navigational state: the runs of a frame sit on the trie node the
+/// element owning the frame moved them to.
 #[derive(Debug, Clone)]
 struct Run {
-    target: Target,
-    position: usize,
+    node: NodeId,
     deps: Vec<InstanceId>,
 }
 
-/// An active state of a predicate path instance.
-#[derive(Debug, Clone)]
+/// An active state of a predicate path instance (`position` steps of the
+/// instance's program are matched).
+#[derive(Debug, Clone, Copy)]
 struct PredRun {
     instance: InstanceId,
-    position: usize,
+    position: u32,
 }
 
 /// Direct-text accumulator for a value condition (`[. = "v"]`, `[c = "v"]`).
@@ -180,49 +189,65 @@ struct Watcher {
     saw_text: bool,
 }
 
-/// Specification of a pending relative-path predicate instance.
-#[derive(Debug, Clone)]
-struct PredSpec {
-    steps: Vec<RelStep>,
-    attribute: Option<String>,
-    condition: Option<ValueCondition>,
+/// Runtime state of a pending predicate instance: one bit of truth plus a
+/// reference into the shared predicate arena. The program itself lives in the
+/// [`DispatchTable`] (program memory, like the compiled rules), not in the
+/// per-instance secure RAM.
+#[derive(Debug, Clone, Copy)]
+struct InstanceSlot {
+    resolved: Option<bool>,
+    pred: PredId,
 }
 
-/// Runtime state of a pending predicate instance.
-#[derive(Debug, Clone)]
-struct InstanceState {
-    resolved: Option<bool>,
-    #[allow(dead_code)]
-    context_depth: usize,
-    spec: Option<PredSpec>,
+/// Bucket id of the wildcard waiters (named waiters use the symbol index).
+const WILD_BUCKET: u32 = u32::MAX;
+
+/// An entry of a per-symbol bucket: an active state waiting on that symbol.
+#[derive(Debug, Clone, Copy)]
+enum BucketEntry {
+    /// `frames[depth].runs[run]` can advance across `edge`.
+    Nav { depth: u32, run: u32, edge: EdgeId },
+    /// `frames[depth].pred_runs[run]` can advance on this symbol.
+    Pred { depth: u32, run: u32 },
+}
+
+impl BucketEntry {
+    fn depth(self) -> u32 {
+        match self {
+            BucketEntry::Nav { depth, .. } | BucketEntry::Pred { depth, .. } => depth,
+        }
+    }
 }
 
 /// One entry of the token stack: everything activated by the element at the
 /// corresponding depth.
 #[derive(Debug, Default)]
 struct Frame {
-    name: String,
     runs: Vec<Run>,
     pred_runs: Vec<PredRun>,
     watchers: Vec<Watcher>,
     owned_instances: Vec<InstanceId>,
+    /// Buckets this frame registered entries into; popped on close.
+    touched: Vec<u32>,
 }
 
 impl Frame {
     fn ram_bytes(&self) -> usize {
-        self.name.len()
-            + self
-                .runs
-                .iter()
-                .map(|r| 8 + 4 * r.deps.len())
-                .sum::<usize>()
-            + self.pred_runs.len() * 8
+        // With interned names the stack entry itself is a token id, not the
+        // tag string: charge a small fixed bookkeeping cost per frame.
+        4 + self
+            .runs
+            .iter()
+            .map(|r| 8 + 4 * r.deps.len())
+            .sum::<usize>()
+            + self.pred_runs.len() * 6
             + self
                 .watchers
                 .iter()
                 .map(|w| 8 + w.buffer.len())
                 .sum::<usize>()
             + self.owned_instances.len() * 4
+            + self.touched.len() * 2
     }
 }
 
@@ -259,27 +284,66 @@ pub struct EngineStats {
     pub run_activations: usize,
     /// Peak secure-RAM footprint of the engine structures, in bytes.
     pub peak_ram_bytes: usize,
+    /// Combined-automaton rebuilds triggered by rule updates.
+    pub dispatch_rebuilds: usize,
 }
+
+/// A rule-or-query key stable across rule vector reindexing, used to remap
+/// active runs when the dispatch trie is rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TargetKey {
+    Rule(RuleId),
+    Query,
+}
+
+/// Trie-independent image of the active runs (per frame, per run: the stable
+/// `(target, position)` pairs of its node plus its instance dependencies).
+type RunSnapshot = Vec<Vec<(Vec<(TargetKey, u32)>, Vec<InstanceId>)>>;
 
 /// The streaming automata engine.
 #[derive(Debug)]
 pub struct RuleEngine {
     rules: Vec<EngineRule>,
     query: Option<CompiledPath>,
+    table: DispatchTable,
     frames: Vec<Frame>,
-    instances: Vec<InstanceState>,
+    instances: Vec<InstanceSlot>,
+    /// Per-symbol buckets of active states (indexed by symbol), plus the
+    /// wildcard bucket. Entries are appended when a frame registers its runs
+    /// and truncated when the frame closes (entries of a bucket are in
+    /// non-decreasing depth order, so a close pops a suffix).
+    buckets: Vec<Vec<BucketEntry>>,
+    wild_bucket: Vec<BucketEntry>,
+    /// Reusable per-event scratch (candidate snapshot).
+    scratch: Vec<BucketEntry>,
+    root_scratch: Vec<EdgeId>,
+    /// Unresolved pending instances (incremental — the instance pool is
+    /// append-only, so scanning it per event would be quadratic in stream
+    /// length).
+    unresolved_instances: usize,
+    /// Live entries across all buckets (incremental, same reason).
+    bucket_entries: usize,
     stats: EngineStats,
 }
 
 impl RuleEngine {
     /// Creates an engine for a set of compiled rules and an optional query.
     pub fn new(rules: Vec<EngineRule>, query: Option<CompiledPath>) -> Self {
+        let table = DispatchTable::build(rules.iter().map(|r| &r.path), query.as_ref());
+        let symbol_count = table.symbols().len();
         RuleEngine {
             rules,
             query,
+            table,
             // frames[0] is the virtual document node.
             frames: vec![Frame::default()],
             instances: Vec::new(),
+            buckets: vec![Vec::new(); symbol_count],
+            wild_bucket: Vec::new(),
+            scratch: Vec::new(),
+            root_scratch: Vec::new(),
+            unresolved_instances: 0,
+            bucket_entries: 0,
             stats: EngineStats::default(),
         }
     }
@@ -292,6 +356,11 @@ impl RuleEngine {
     /// Installed query automaton, if any.
     pub fn query(&self) -> Option<&CompiledPath> {
         self.query.as_ref()
+    }
+
+    /// The combined dispatch structure (introspection / statistics).
+    pub fn dispatch(&self) -> &DispatchTable {
+        &self.table
     }
 
     /// Engine counters.
@@ -312,9 +381,11 @@ impl RuleEngine {
         let mut positions = vec![vec![0usize]; self.rules.len()];
         for frame in &self.frames {
             for run in &frame.runs {
-                if let Target::Rule(i) = run.target {
-                    if !positions[i].contains(&run.position) {
-                        positions[i].push(run.position);
+                for &(target, pos) in &self.table.node(run.node).positions {
+                    if let Target::Rule(i) = target {
+                        if !positions[i].contains(&(pos as usize)) {
+                            positions[i].push(pos as usize);
+                        }
                     }
                 }
             }
@@ -330,8 +401,10 @@ impl RuleEngine {
         let mut positions = vec![0usize];
         for frame in &self.frames {
             for run in &frame.runs {
-                if matches!(run.target, Target::Query) && !positions.contains(&run.position) {
-                    positions.push(run.position);
+                for &(target, pos) in &self.table.node(run.node).positions {
+                    if target == Target::Query && !positions.contains(&(pos as usize)) {
+                        positions.push(pos as usize);
+                    }
                 }
             }
         }
@@ -340,116 +413,150 @@ impl RuleEngine {
 
     /// True if at least one pending predicate instance is unresolved.
     pub fn has_unresolved_instances(&self) -> bool {
-        self.instances.iter().any(|i| i.resolved.is_none())
+        self.unresolved_instances > 0
     }
 
-    /// Current secure-RAM footprint of the engine structures, in bytes.
+    /// Current secure-RAM footprint of the engine structures, in bytes. Only
+    /// the token stack is walked (bounded by document depth); the instance and
+    /// bucket contributions are tracked incrementally.
     pub fn ram_bytes(&self) -> usize {
         let frames: usize = self.frames.iter().map(Frame::ram_bytes).sum();
-        let unresolved = self
-            .instances
-            .iter()
-            .filter(|i| i.resolved.is_none())
-            .count();
-        // One unresolved instance costs its spec (bounded by the rule size) +
-        // bookkeeping; resolved instances boil down to one bit in the
-        // predicate set.
-        frames + unresolved * 24 + self.instances.len() / 8
+        // An unresolved instance is one predicate-set entry referencing a
+        // shared program (the program itself lives with the compiled rules in
+        // program memory); resolved instances boil down to one bit.
+        frames + self.bucket_entries * 4 + self.unresolved_instances * 8 + self.instances.len() / 8
     }
 
-    fn path_for(&self, target: Target) -> &CompiledPath {
-        match target {
-            Target::Rule(i) => &self.rules[i].path,
-            Target::Query => self.query.as_ref().expect("query target without query"),
-        }
-    }
-
-    fn resolve_instance(
-        &mut self,
-        id: InstanceId,
-        satisfied: bool,
-        outputs: &mut Vec<EngineOutput>,
-    ) {
-        let state = &mut self.instances[id.0 as usize];
-        if state.resolved.is_none() {
-            state.resolved = Some(satisfied);
-            outputs.push(EngineOutput::Resolved {
-                instance: id,
-                satisfied,
+    /// Installs an additional rule mid-stream. The combined automaton is
+    /// rebuilt (symbols and predicate programs are reused) and the active runs
+    /// of the existing rules are preserved; the new rule starts matching from
+    /// the current stream position.
+    ///
+    /// Retroactivity over the *currently open* subtree is best-effort: the
+    /// events that opened it are gone, so partial matches for the new rule
+    /// cannot be reconstructed in general (in particular, predicate evidence
+    /// seen before the addition is unrecoverable). Prefixes the new rule
+    /// shares with existing rules keep their live runs (and immediately serve
+    /// it); unshared prefixes begin matching at the next element opening.
+    /// Security-sensitive callers should apply policy changes between
+    /// documents — the paper's model — where this distinction vanishes.
+    ///
+    /// Fails on a duplicate rule id: run remapping across the rebuild is
+    /// keyed by rule id, so two rules sharing one id would corrupt the live
+    /// state of both.
+    pub fn add_rule(&mut self, rule: EngineRule) -> Result<(), crate::error::CoreError> {
+        if self.rules.iter().any(|r| r.id == rule.id) {
+            return Err(crate::error::CoreError::BadState {
+                message: format!("rule id {} is already installed", rule.id.0),
             });
         }
+        let snapshot = self.snapshot_runs();
+        self.rules.push(rule);
+        self.rebuild_dispatch(snapshot);
+        Ok(())
     }
 
-    fn attribute_predicate_holds(pred: &CompiledPredicate, attrs: &[Attribute]) -> bool {
-        match pred {
-            CompiledPredicate::Attribute { name, condition } => {
-                match attrs.iter().find(|a| &a.name == name) {
-                    Some(attr) => condition
-                        .as_ref()
-                        .map(|c| c.holds(&attr.value))
-                        .unwrap_or(true),
-                    None => false,
-                }
-            }
-            _ => true,
+    /// Removes a rule by id mid-stream; returns true if it was installed.
+    /// Pending instances spawned by the removed rule resolve normally (their
+    /// resolutions simply stop influencing any match).
+    pub fn remove_rule(&mut self, id: RuleId) -> bool {
+        let Some(pos) = self.rules.iter().position(|r| r.id == id) else {
+            return false;
+        };
+        let snapshot = self.snapshot_runs();
+        self.rules.remove(pos);
+        self.rebuild_dispatch(snapshot);
+        true
+    }
+
+    /// Captures, per frame, each active run as its stable `(target key,
+    /// position)` pairs plus its dependencies — the trie-independent view of
+    /// the run used for remapping.
+    fn snapshot_runs(&self) -> RunSnapshot {
+        self.frames
+            .iter()
+            .map(|frame| {
+                frame
+                    .runs
+                    .iter()
+                    .map(|run| {
+                        let keys = self
+                            .table
+                            .node(run.node)
+                            .positions
+                            .iter()
+                            .map(|&(t, p)| (self.target_key(t), p))
+                            .collect();
+                        (keys, run.deps.clone())
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn target_key(&self, target: Target) -> TargetKey {
+        match target {
+            Target::Rule(i) => TargetKey::Rule(self.rules[i].id),
+            Target::Query => TargetKey::Query,
         }
     }
 
-    /// Creates the pending instances required by the deferred predicates of a
-    /// step matched by the element currently being opened (at depth `depth`).
-    fn spawn_instances(
-        &mut self,
-        deferred: &[CompiledPredicate],
-        depth: usize,
-        new_frame: &mut Frame,
-    ) -> Vec<InstanceId> {
-        let mut ids = Vec::with_capacity(deferred.len());
-        for pred in deferred {
-            let id = InstanceId(self.instances.len() as u32);
-            self.stats.instances_created += 1;
-            match pred {
-                CompiledPredicate::SelfText { condition } => {
-                    self.instances.push(InstanceState {
-                        resolved: None,
-                        context_depth: depth,
-                        spec: None,
-                    });
-                    new_frame.watchers.push(Watcher {
-                        instance: id,
-                        condition: condition.clone(),
-                        buffer: String::new(),
-                        saw_text: false,
-                    });
-                }
-                CompiledPredicate::RelPath {
-                    steps,
-                    attribute,
-                    condition,
-                } => {
-                    self.instances.push(InstanceState {
-                        resolved: None,
-                        context_depth: depth,
-                        spec: Some(PredSpec {
-                            steps: steps.clone(),
-                            attribute: attribute.clone(),
-                            condition: condition.clone(),
-                        }),
-                    });
-                    // The initial state of the predicate path lives in the
-                    // context element's frame.
-                    new_frame.pred_runs.push(PredRun {
-                        instance: id,
-                        position: 0,
-                    });
-                }
-                CompiledPredicate::Attribute { .. } => {
-                    unreachable!("attribute predicates are immediate")
+    /// Rebuilds the dispatch trie for the current rule vector and remaps the
+    /// snapshotted runs onto it. Incremental in the sense that the symbol
+    /// table and predicate arena are reused and only the live runs (bounded by
+    /// depth × distinct prefixes) are re-registered.
+    fn rebuild_dispatch(&mut self, snapshot: RunSnapshot) {
+        self.stats.dispatch_rebuilds += 1;
+        self.table
+            .rebuild(self.rules.iter().map(|r| &r.path), self.query.as_ref());
+        let key_map: HashMap<(TargetKey, u32), NodeId> = self
+            .table
+            .position_map()
+            .into_iter()
+            .map(|((t, p), n)| {
+                let key = match t {
+                    Target::Rule(i) => TargetKey::Rule(self.rules[i].id),
+                    Target::Query => TargetKey::Query,
+                };
+                ((key, p), n)
+            })
+            .collect();
+
+        // Remap runs: every (target, position) pair of an old node maps to the
+        // same new node (nodes group prefix-equal paths), so the first
+        // surviving pair locates it.
+        for (frame, old_runs) in self.frames.iter_mut().zip(snapshot) {
+            frame.runs.clear();
+            for (keys, deps) in old_runs {
+                let Some(&node) = keys.iter().find_map(|k| key_map.get(k)) else {
+                    continue; // every rule of this prefix was removed
+                };
+                if !frame.runs.iter().any(|r| r.node == node && r.deps == deps) {
+                    frame.runs.push(Run { node, deps });
                 }
             }
-            new_frame.owned_instances.push(id);
-            ids.push(id);
         }
-        ids
+
+        // Re-register every live state in the (resized) buckets, in depth
+        // order so each bucket stays sorted by depth.
+        self.buckets.clear();
+        self.buckets
+            .resize_with(self.table.symbols().len(), Vec::new);
+        self.wild_bucket.clear();
+        self.bucket_entries = 0;
+        for depth in 0..self.frames.len() {
+            let frame = &mut self.frames[depth];
+            frame.touched.clear();
+            register_frame(
+                &self.table,
+                &self.instances,
+                frame,
+                depth as u32,
+                &mut self.buckets,
+                &mut self.wild_bucket,
+                &mut self.bucket_entries,
+            );
+        }
     }
 
     /// Processes one event and returns the engine outputs it triggers.
@@ -473,155 +580,82 @@ impl RuleEngine {
         outputs: &mut Vec<EngineOutput>,
     ) {
         let depth = self.frames.len(); // depth of the element being opened
-        let mut new_frame = Frame {
-            name: name.to_owned(),
-            ..Frame::default()
-        };
+        let sym = self.table.symbols().lookup(name);
 
-        // ------------------------------------------------------------------
-        // 1. Navigational transitions.
-        // ------------------------------------------------------------------
-        // Candidate runs: the implicit initial state (position 0 at the
-        // virtual document depth 0) for every automaton, plus every run stored
-        // in an open ancestor's frame.
-        let mut candidates: Vec<(Target, usize, usize, Vec<InstanceId>)> = Vec::new();
-        for i in 0..self.rules.len() {
-            candidates.push((Target::Rule(i), 0, 0, Vec::new()));
+        // Snapshot the candidates: initial transitions for this symbol plus
+        // the bucketed active states waiting on it (or on a wildcard). New
+        // states registered by this event only participate for descendants.
+        let mut root_scratch = std::mem::take(&mut self.root_scratch);
+        root_scratch.clear();
+        root_scratch.extend(self.table.root_edges(sym));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        if let Some(s) = sym {
+            scratch.extend_from_slice(&self.buckets[s.index()]);
         }
-        if self.query.is_some() {
-            candidates.push((Target::Query, 0, 0, Vec::new()));
-        }
-        for (frame_depth, frame) in self.frames.iter().enumerate() {
-            for run in &frame.runs {
-                candidates.push((run.target, run.position, frame_depth, run.deps.clone()));
-            }
-        }
+        scratch.extend_from_slice(&self.wild_bucket);
 
-        let mut direct: HashMap<usize, MatchAlternatives> = HashMap::new();
+        let mut new_frame = Frame::default();
+        let mut direct: Vec<(usize, MatchAlternatives)> = Vec::new();
         let mut query_match: Option<MatchAlternatives> = None;
+        let mut memo: Vec<(PredId, InstanceId)> = Vec::new();
 
-        for (target, position, run_depth, deps) in candidates {
-            let path = self.path_for(target);
-            if position >= path.steps.len() {
-                continue;
-            }
-            let step = &path.steps[position];
-            let axis_ok = match step.axis {
-                Axis::Child => run_depth == depth - 1,
-                Axis::Descendant => run_depth <= depth - 1,
+        {
+            let RuleEngine {
+                ref table,
+                ref frames,
+                ref mut instances,
+                ref mut unresolved_instances,
+                ref mut stats,
+                ..
+            } = *self;
+            let mut scope = OpenScope {
+                table,
+                instances,
+                unresolved: unresolved_instances,
+                stats,
+                outputs,
+                new_frame: &mut new_frame,
+                memo: &mut memo,
+                direct: &mut direct,
+                query_match: &mut query_match,
+                depth,
+                attrs,
             };
-            if !axis_ok || !step.test.matches(name) {
-                continue;
-            }
-            if !step
-                .immediate
-                .iter()
-                .all(|p| Self::attribute_predicate_holds(p, attrs))
-            {
-                continue;
-            }
-            // Clone the deferred predicates up front to end the borrow of
-            // `self` held through `path`.
-            let deferred: Vec<CompiledPredicate> = step.deferred.clone();
-            let path_len = path.steps.len();
-            let new_ids = self.spawn_instances(&deferred, depth, &mut new_frame);
-            let mut new_deps = deps.clone();
-            new_deps.extend(new_ids);
 
-            if position + 1 == path_len {
-                // Final navigational state reached: the rule/query matches this
-                // node, possibly conditionally.
-                match target {
-                    Target::Rule(i) => {
-                        direct.entry(i).or_default().add(new_deps.clone());
+            for &edge in &root_scratch {
+                scope.fire_edge(edge, 0, &[]);
+            }
+            for &entry in &scratch {
+                match entry {
+                    BucketEntry::Nav {
+                        depth: run_depth,
+                        run,
+                        edge,
+                    } => {
+                        let deps = &frames[run_depth as usize].runs[run as usize].deps;
+                        scope.fire_edge(edge, run_depth as usize, deps);
                     }
-                    Target::Query => {
-                        query_match
-                            .get_or_insert_with(MatchAlternatives::default)
-                            .add(new_deps.clone());
+                    BucketEntry::Pred {
+                        depth: run_depth,
+                        run,
+                    } => {
+                        let pr = frames[run_depth as usize].pred_runs[run as usize];
+                        scope.advance_pred(pr, run_depth as usize);
                     }
                 }
             }
-            if position + 1 < path_len {
-                self.stats.run_activations += 1;
-                new_frame.runs.push(Run {
-                    target,
-                    position: position + 1,
-                    deps: new_deps,
-                });
-            }
         }
+        self.scratch = scratch;
+        self.root_scratch = root_scratch;
 
-        // ------------------------------------------------------------------
-        // 2. Predicate-path transitions.
-        // ------------------------------------------------------------------
-        let mut pred_candidates: Vec<(InstanceId, usize, usize)> = Vec::new();
-        for (frame_depth, frame) in self.frames.iter().enumerate() {
-            for pr in &frame.pred_runs {
-                if self.instances[pr.instance.0 as usize].resolved.is_none() {
-                    pred_candidates.push((pr.instance, pr.position, frame_depth));
-                }
-            }
-        }
-        for (instance, position, run_depth) in pred_candidates {
-            let Some(spec) = self.instances[instance.0 as usize].spec.clone() else {
-                continue;
-            };
-            if position >= spec.steps.len() {
-                continue;
-            }
-            let step = &spec.steps[position];
-            let axis_ok = match step.axis {
-                Axis::Child => run_depth == depth - 1,
-                Axis::Descendant => run_depth <= depth - 1,
-            };
-            if !axis_ok || !step.test.matches(name) {
-                continue;
-            }
-            if position + 1 == spec.steps.len() {
-                // Final state of the predicate path reached on this element.
-                if let Some(attr_name) = &spec.attribute {
-                    if let Some(attr) = attrs.iter().find(|a| &a.name == attr_name) {
-                        let ok = spec
-                            .condition
-                            .as_ref()
-                            .map(|c| c.holds(&attr.value))
-                            .unwrap_or(true);
-                        if ok {
-                            self.resolve_instance(instance, true, outputs);
-                        }
-                    }
-                } else if spec.condition.is_none() {
-                    // Pure existence test.
-                    self.resolve_instance(instance, true, outputs);
-                } else {
-                    // A value condition on the element's direct text: watch it.
-                    new_frame.watchers.push(Watcher {
-                        instance,
-                        condition: spec.condition.clone(),
-                        buffer: String::new(),
-                        saw_text: false,
-                    });
-                }
-            } else {
-                new_frame.pred_runs.push(PredRun {
-                    instance,
-                    position: position + 1,
-                });
-            }
-        }
-
-        // ------------------------------------------------------------------
-        // 3. Assemble the annotation and push the frame.
-        // ------------------------------------------------------------------
+        // Assemble the annotation and push + register the frame.
         let mut annotation = NodeAnnotation {
             direct: Vec::with_capacity(direct.len()),
             query: query_match,
         };
-        let mut rule_indexes: Vec<usize> = direct.keys().copied().collect();
-        rule_indexes.sort_unstable();
-        for i in rule_indexes {
-            let matches = direct.remove(&i).expect("key collected above");
+        direct.sort_unstable_by_key(|(i, _)| *i);
+        for (i, matches) in direct {
             annotation.direct.push(DirectMatch {
                 rule: self.rules[i].id,
                 sign: self.rules[i].sign,
@@ -629,6 +663,16 @@ impl RuleEngine {
             });
         }
         self.frames.push(new_frame);
+        let frame = self.frames.last_mut().expect("frame just pushed");
+        register_frame(
+            &self.table,
+            &self.instances,
+            frame,
+            depth as u32,
+            &mut self.buckets,
+            &mut self.wild_bucket,
+            &mut self.bucket_entries,
+        );
         outputs.push(EngineOutput::Annotated {
             event: event.clone(),
             annotation: Some(annotation),
@@ -654,7 +698,13 @@ impl RuleEngine {
             }
         }
         for (id, value) in resolved_now {
-            self.resolve_instance(id, value, outputs);
+            resolve_instance(
+                &mut self.instances,
+                &mut self.unresolved_instances,
+                outputs,
+                id,
+                value,
+            );
         }
         outputs.push(EngineOutput::Annotated {
             event: event.clone(),
@@ -663,7 +713,21 @@ impl RuleEngine {
     }
 
     fn process_close(&mut self, event: &Event, outputs: &mut Vec<EngineOutput>) {
+        let depth = (self.frames.len() - 1) as u32;
         let frame = self.frames.pop().expect("close without a matching open");
+        // Unregister the frame's bucket entries (always the bucket suffix:
+        // registrations only ever target the innermost open element).
+        for &b in &frame.touched {
+            let bucket = if b == WILD_BUCKET {
+                &mut self.wild_bucket
+            } else {
+                &mut self.buckets[b as usize]
+            };
+            while bucket.last().is_some_and(|e| e.depth() == depth) {
+                bucket.pop();
+                self.bucket_entries -= 1;
+            }
+        }
         // Evaluate the direct-text watchers anchored on the closing element.
         for w in &frame.watchers {
             if self.instances[w.instance.0 as usize].resolved.is_some() {
@@ -671,7 +735,13 @@ impl RuleEngine {
             }
             if let Some(condition) = &w.condition {
                 if w.saw_text && condition.holds(&w.buffer) {
-                    self.resolve_instance(w.instance, true, outputs);
+                    resolve_instance(
+                        &mut self.instances,
+                        &mut self.unresolved_instances,
+                        outputs,
+                        w.instance,
+                        true,
+                    );
                 }
                 // A failed candidate does not fail the instance: another
                 // element matched by the predicate path may still satisfy it.
@@ -680,12 +750,259 @@ impl RuleEngine {
         // Instances whose context element closes without having been satisfied
         // are now definitely unsatisfied.
         for id in &frame.owned_instances {
-            self.resolve_instance(*id, false, outputs);
+            resolve_instance(
+                &mut self.instances,
+                &mut self.unresolved_instances,
+                outputs,
+                *id,
+                false,
+            );
         }
         outputs.push(EngineOutput::Annotated {
             event: event.clone(),
             annotation: None,
         });
+    }
+}
+
+/// Mutable context of one `open` event (split borrows of the engine).
+struct OpenScope<'a> {
+    table: &'a DispatchTable,
+    instances: &'a mut Vec<InstanceSlot>,
+    unresolved: &'a mut usize,
+    stats: &'a mut EngineStats,
+    outputs: &'a mut Vec<EngineOutput>,
+    new_frame: &'a mut Frame,
+    /// Per-event memo: one pending instance per deferred predicate, shared by
+    /// every run/rule reaching this element through it (the predicate is
+    /// anchored on the element, not on the path that led here).
+    memo: &'a mut Vec<(PredId, InstanceId)>,
+    direct: &'a mut Vec<(usize, MatchAlternatives)>,
+    query_match: &'a mut Option<MatchAlternatives>,
+    depth: usize,
+    attrs: &'a [Attribute],
+}
+
+impl OpenScope<'_> {
+    /// Fires one navigational transition from a run at `run_depth` (the bucket
+    /// guarantees the name test already matched).
+    fn fire_edge(&mut self, edge_id: EdgeId, run_depth: usize, deps: &[InstanceId]) {
+        let edge = self.table.edge(edge_id);
+        let axis_ok = match edge.axis {
+            Axis::Child => run_depth == self.depth - 1,
+            Axis::Descendant => run_depth < self.depth,
+        };
+        if !axis_ok {
+            return;
+        }
+        if !edge.immediate.iter().all(|check| {
+            attr_holds(
+                self.attrs,
+                self.table.symbols().resolve(check.name),
+                check.condition.as_ref(),
+            )
+        }) {
+            return;
+        }
+        let mut new_deps = deps.to_vec();
+        for &pid in &edge.deferred {
+            new_deps.push(self.instance_for(pid));
+        }
+        for &target in &edge.accepts {
+            match target {
+                Target::Rule(i) => {
+                    let matches = match self.direct.iter_mut().find(|(r, _)| *r == i) {
+                        Some((_, m)) => m,
+                        None => {
+                            self.direct.push((i, MatchAlternatives::default()));
+                            &mut self.direct.last_mut().expect("just pushed").1
+                        }
+                    };
+                    matches.add(new_deps.clone());
+                }
+                Target::Query => {
+                    self.query_match
+                        .get_or_insert_with(MatchAlternatives::default)
+                        .add(new_deps.clone());
+                }
+            }
+        }
+        if let Some(node) = edge.to {
+            self.stats.run_activations += 1;
+            self.new_frame.runs.push(Run {
+                node,
+                deps: new_deps,
+            });
+        }
+    }
+
+    /// The pending instance for a deferred predicate of the element being
+    /// opened, creating it on first use within the event.
+    fn instance_for(&mut self, pid: PredId) -> InstanceId {
+        if let Some(&(_, id)) = self.memo.iter().find(|(p, _)| *p == pid) {
+            return id;
+        }
+        let id = InstanceId(self.instances.len() as u32);
+        self.stats.instances_created += 1;
+        *self.unresolved += 1;
+        self.instances.push(InstanceSlot {
+            resolved: None,
+            pred: pid,
+        });
+        let program = self.table.pred(pid);
+        if program.is_self_text() {
+            self.new_frame.watchers.push(Watcher {
+                instance: id,
+                condition: program.condition.clone(),
+                buffer: String::new(),
+                saw_text: false,
+            });
+        } else {
+            // The initial state of the predicate path lives in the context
+            // element's frame.
+            self.new_frame.pred_runs.push(PredRun {
+                instance: id,
+                position: 0,
+            });
+        }
+        self.new_frame.owned_instances.push(id);
+        self.memo.push((pid, id));
+        id
+    }
+
+    /// Advances one predicate-path run (the bucket guarantees the name test).
+    fn advance_pred(&mut self, pr: PredRun, run_depth: usize) {
+        let slot = self.instances[pr.instance.0 as usize];
+        if slot.resolved.is_some() {
+            return;
+        }
+        let program = self.table.pred(slot.pred);
+        let step = &program.steps[pr.position as usize];
+        let axis_ok = match step.axis {
+            Axis::Child => run_depth == self.depth - 1,
+            Axis::Descendant => run_depth < self.depth,
+        };
+        if !axis_ok {
+            return;
+        }
+        if pr.position as usize + 1 == program.steps.len() {
+            // Final state of the predicate path reached on this element.
+            if let Some(attr_sym) = program.attribute {
+                let attr_name = self.table.symbols().resolve(attr_sym);
+                if attr_holds(self.attrs, attr_name, program.condition.as_ref()) {
+                    resolve_instance(
+                        self.instances,
+                        self.unresolved,
+                        self.outputs,
+                        pr.instance,
+                        true,
+                    );
+                }
+            } else if program.condition.is_none() {
+                // Pure existence test.
+                resolve_instance(
+                    self.instances,
+                    self.unresolved,
+                    self.outputs,
+                    pr.instance,
+                    true,
+                );
+            } else {
+                // A value condition on the element's direct text: watch it.
+                self.new_frame.watchers.push(Watcher {
+                    instance: pr.instance,
+                    condition: program.condition.clone(),
+                    buffer: String::new(),
+                    saw_text: false,
+                });
+            }
+        } else {
+            self.new_frame.pred_runs.push(PredRun {
+                instance: pr.instance,
+                position: pr.position + 1,
+            });
+        }
+    }
+}
+
+/// `[@name]` / `[@name = "v"]` against an open tag's attributes: the attribute
+/// must exist and, when a condition is given, satisfy it. Shared by the
+/// immediate edge checks and the final step of attribute predicate paths.
+fn attr_holds(attrs: &[Attribute], name: &str, condition: Option<&ValueCondition>) -> bool {
+    match attrs.iter().find(|a| a.name == name) {
+        Some(attr) => condition.map(|c| c.holds(&attr.value)).unwrap_or(true),
+        None => false,
+    }
+}
+
+fn resolve_instance(
+    instances: &mut [InstanceSlot],
+    unresolved: &mut usize,
+    outputs: &mut Vec<EngineOutput>,
+    id: InstanceId,
+    satisfied: bool,
+) {
+    let slot = &mut instances[id.0 as usize];
+    if slot.resolved.is_none() {
+        slot.resolved = Some(satisfied);
+        *unresolved -= 1;
+        outputs.push(EngineOutput::Resolved {
+            instance: id,
+            satisfied,
+        });
+    }
+}
+
+/// Registers every run and predicate run of `frame` (at `depth`) in the
+/// per-symbol buckets, recording the touched buckets on the frame.
+fn register_frame(
+    table: &DispatchTable,
+    instances: &[InstanceSlot],
+    frame: &mut Frame,
+    depth: u32,
+    buckets: &mut [Vec<BucketEntry>],
+    wild_bucket: &mut Vec<BucketEntry>,
+    entries: &mut usize,
+) {
+    let Frame {
+        runs,
+        pred_runs,
+        touched,
+        ..
+    } = frame;
+    let mut push = |sym: Option<sdds_xml::Symbol>, entry: BucketEntry| {
+        let (id, bucket) = match sym {
+            Some(s) => (s.0, &mut buckets[s.index()]),
+            None => (WILD_BUCKET, &mut *wild_bucket),
+        };
+        bucket.push(entry);
+        *entries += 1;
+        if touched.last() != Some(&id) {
+            touched.push(id);
+        }
+    };
+    for (i, run) in runs.iter().enumerate() {
+        for &e in &table.node(run.node).edges {
+            push(
+                table.edge(e).sym,
+                BucketEntry::Nav {
+                    depth,
+                    run: i as u32,
+                    edge: e,
+                },
+            );
+        }
+    }
+    for (i, pr) in pred_runs.iter().enumerate() {
+        let program = table.pred(instances[pr.instance.0 as usize].pred);
+        let step = &program.steps[pr.position as usize];
+        push(
+            step.sym,
+            BucketEntry::Pred {
+                depth,
+                run: i as u32,
+            },
+        );
     }
 }
 
@@ -964,7 +1281,10 @@ mod tests {
             ],
             None,
         );
-        let out = run(&mut e, "<hospital><patient><name>x</name></patient></hospital>");
+        let out = run(
+            &mut e,
+            "<hospital><patient><name>x</name></patient></hospital>",
+        );
         let name_ann = out
             .iter()
             .find_map(|o| match o {
@@ -977,5 +1297,106 @@ mod tests {
             .unwrap();
         let rule_ids: Vec<u32> = name_ann.direct.iter().map(|d| d.rule.0).collect();
         assert_eq!(rule_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_rules_share_one_path_and_both_match() {
+        let mut e = engine_for(
+            &[
+                ("//patient/name", Sign::Permit),
+                ("//patient/name", Sign::Deny),
+            ],
+            None,
+        );
+        assert_eq!(e.dispatch().edge_count(), 2, "duplicate objects collapse");
+        let out = run(&mut e, "<h><patient><name>x</name></patient></h>");
+        let matches = unconditional_matches(&out);
+        assert_eq!(matches[2], ("name".into(), vec![0, 1]));
+    }
+
+    #[test]
+    fn add_rule_mid_stream_matches_remaining_elements() {
+        let mut e = engine_for(&[("//a", Sign::Permit)], None);
+        let events = Parser::parse_all("<r><b/><b/></r>").unwrap();
+        let mut out = Vec::new();
+        out.extend(e.process(&events[0])); // <r>
+        out.extend(e.process(&events[1])); // <b/> — not matched yet
+        out.extend(e.process(&events[2]));
+        e.add_rule(EngineRule {
+            id: RuleId(7),
+            sign: Sign::Deny,
+            path: compile_str("//b").unwrap(),
+        })
+        .unwrap();
+        // A duplicate id is rejected: the rebuild remap is keyed by rule id.
+        assert!(e
+            .add_rule(EngineRule {
+                id: RuleId(7),
+                sign: Sign::Permit,
+                path: compile_str("//c").unwrap(),
+            })
+            .is_err());
+        for ev in &events[3..] {
+            out.extend(e.process(ev));
+        }
+        let matches = unconditional_matches(&out);
+        assert_eq!(
+            matches,
+            vec![
+                ("r".into(), vec![]),
+                ("b".into(), vec![]),  // before the grant
+                ("b".into(), vec![7]), // after the grant
+            ]
+        );
+        assert!(e.stats().dispatch_rebuilds >= 1);
+    }
+
+    #[test]
+    fn remove_rule_mid_stream_stops_matching_and_preserves_others() {
+        let mut e = engine_for(&[("//x/y", Sign::Permit), ("//y", Sign::Deny)], None);
+        let events = Parser::parse_all("<r><x><y/><y/></x></r>").unwrap();
+        let mut out = Vec::new();
+        // Process through the first <y/> (events: <r>, <x>, <y>, </y>).
+        for ev in &events[..4] {
+            out.extend(e.process(ev));
+        }
+        // Remove //x/y while <x> is still open; rule 1 (//y) keeps matching.
+        assert!(e.remove_rule(RuleId(0)));
+        assert!(!e.remove_rule(RuleId(0)), "already removed");
+        for ev in &events[4..] {
+            out.extend(e.process(ev));
+        }
+        let matches = unconditional_matches(&out);
+        assert_eq!(
+            matches,
+            vec![
+                ("r".into(), vec![]),
+                ("x".into(), vec![]),
+                ("y".into(), vec![0, 1]), // both rules before the removal
+                ("y".into(), vec![1]),    // only //y after
+            ]
+        );
+    }
+
+    #[test]
+    fn rebuild_preserves_active_descendant_runs() {
+        // A run deep inside the document must survive an unrelated rule
+        // addition: //a//c is two steps into its path when the rebuild hits.
+        let mut e = engine_for(&[("//a//c", Sign::Permit)], None);
+        let events = Parser::parse_all("<a><b><c/></b></a>").unwrap();
+        let mut out = Vec::new();
+        out.extend(e.process(&events[0])); // <a>
+        out.extend(e.process(&events[1])); // <b>
+        e.add_rule(EngineRule {
+            id: RuleId(9),
+            sign: Sign::Deny,
+            path: compile_str("//zzz").unwrap(),
+        })
+        .unwrap();
+        for ev in &events[2..] {
+            out.extend(e.process(ev));
+        }
+        let matches = unconditional_matches(&out);
+        assert_eq!(matches[2], ("c".into(), vec![0]));
     }
 }

@@ -120,7 +120,9 @@ impl DocumentHeader {
         .map_err(|_| bad("non UTF-8 id"))?;
         pos += id_len;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], CoreError> {
-            let s = bytes.get(*pos..*pos + n).ok_or_else(|| bad("truncated header"))?;
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or_else(|| bad("truncated header"))?;
             *pos += n;
             Ok(s)
         };
@@ -322,10 +324,7 @@ mod tests {
         let doc = sample_doc();
         let secure = SecureDocumentBuilder::new("folder-42", key()).build(&doc);
         assert!(secure.chunk_count() > 1);
-        assert_eq!(
-            secure.chunk_count() as u32,
-            secure.header.chunk_count
-        );
+        assert_eq!(secure.chunk_count() as u32, secure.header.chunk_count);
         secure.header.verify(&key()).unwrap();
 
         // Decrypt every chunk, verify its proof, reassemble the plaintext.

@@ -129,7 +129,10 @@ impl ProtectedRules {
         let iv: [u8; 16] = bytes[8..24].try_into().expect("16 bytes");
         let mac: [u8; 32] = bytes[24..56].try_into().expect("32 bytes");
         let len = u32::from_le_bytes(bytes[56..60].try_into().expect("4 bytes")) as usize;
-        let ciphertext = bytes.get(60..60 + len).ok_or_else(|| bad("truncated body"))?.to_vec();
+        let ciphertext = bytes
+            .get(60..60 + len)
+            .ok_or_else(|| bad("truncated body"))?
+            .to_vec();
         Ok(ProtectedRules {
             version,
             ciphertext,
@@ -295,7 +298,11 @@ impl TrustedServer {
 
     /// Produces the wrapped document key for one subject's card.
     pub fn provision_document_key(&self, subject: &Subject, key_id: u32) -> KeyProvisioning {
-        KeyProvisioning::wrap(key_id, &self.document_key(), &self.transport_key_for(subject))
+        KeyProvisioning::wrap(
+            key_id,
+            &self.document_key(),
+            &self.transport_key_for(subject),
+        )
     }
 
     /// Produces the wrapped rule-protection key for one subject's card.
@@ -401,7 +408,10 @@ mod tests {
 
         // A policy change bumps the version seen by every subject.
         let v0 = server.rules().version();
-        server.rules_mut().push(Sign::Deny, "doctor", "//address").unwrap();
+        server
+            .rules_mut()
+            .push(Sign::Deny, "doctor", "//address")
+            .unwrap();
         assert!(server.rules().version() > v0);
         let refreshed = server
             .protected_rules_for(&doctor)

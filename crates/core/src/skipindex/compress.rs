@@ -120,7 +120,18 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        for value in [0u64, 1, 127, 128, 255, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, value);
             assert_eq!(buf.len(), varint_len(value));

@@ -186,7 +186,7 @@ impl TokenReader {
     }
 
     /// Decodes the next token, if the window holds a complete one.
-    pub fn next(&mut self) -> Result<ReadResult, CoreError> {
+    pub fn next_token(&mut self) -> Result<ReadResult, CoreError> {
         if self.at_end() {
             return Ok(ReadResult::End);
         }
@@ -249,9 +249,12 @@ impl TokenReader {
             }
             token::CLOSE => {
                 self.consume(1);
-                let name = self.open_names.pop().ok_or_else(|| CoreError::BadDocument {
-                    message: "close token without a matching open".into(),
-                })?;
+                let name = self
+                    .open_names
+                    .pop()
+                    .ok_or_else(|| CoreError::BadDocument {
+                        message: "close token without a matching open".into(),
+                    })?;
                 while self
                     .ref_stack
                     .last()
@@ -300,7 +303,10 @@ impl TokenReader {
                 })))
             }
             other => Err(CoreError::BadDocument {
-                message: format!("unknown token marker 0x{other:02X} at offset {}", self.cursor),
+                message: format!(
+                    "unknown token marker 0x{other:02X} at offset {}",
+                    self.cursor
+                ),
             }),
         }
     }
@@ -329,7 +335,7 @@ pub fn decode_all(plaintext: &[u8], recursive_bitmaps: bool) -> Result<Vec<Event
     reader.supply(0, plaintext)?;
     let mut events = Vec::new();
     loop {
-        match reader.next()? {
+        match reader.next_token()? {
             ReadResult::Token(TokenEvent::Event(e)) => events.push(e),
             ReadResult::Token(TokenEvent::Summary(_)) => {}
             ReadResult::NeedData => {
@@ -366,8 +372,7 @@ mod tests {
     #[test]
     fn roundtrip_generated_documents_with_and_without_index() {
         for config in [EncoderConfig::default(), EncoderConfig::without_index()] {
-            let doc =
-                generator::hospital(&HospitalProfile::default(), &GeneratorConfig::default());
+            let doc = generator::hospital(&HospitalProfile::default(), &GeneratorConfig::default());
             let (plaintext, _) = encode(&doc, config);
             let events = decode_all(&plaintext, config.recursive_bitmaps).unwrap();
             assert_eq!(events, doc.to_events());
@@ -391,16 +396,21 @@ mod tests {
         let mut events = Vec::new();
         let mut supplied = dict_len;
         loop {
-            match reader.next().unwrap() {
+            match reader.next_token().unwrap() {
                 ReadResult::Token(TokenEvent::Event(e)) => events.push(e),
                 ReadResult::Token(TokenEvent::Summary(s)) => {
                     // Text-only subtrees legitimately have an empty tag set.
                     assert!(s.content_len > 0);
                 }
                 ReadResult::NeedData => {
-                    assert!(supplied < plaintext.len(), "reader starved at end of stream");
+                    assert!(
+                        supplied < plaintext.len(),
+                        "reader starved at end of stream"
+                    );
                     let next = (supplied + 33).min(plaintext.len());
-                    reader.supply(supplied as u64, &plaintext[supplied..next]).unwrap();
+                    reader
+                        .supply(supplied as u64, &plaintext[supplied..next])
+                        .unwrap();
                     supplied = next;
                 }
                 ReadResult::End => break,
@@ -435,7 +445,7 @@ mod tests {
         let mut seen = Vec::new();
         let mut skipped_bytes = 0u64;
         loop {
-            match reader.next().unwrap() {
+            match reader.next_token().unwrap() {
                 ReadResult::Token(TokenEvent::Event(e)) => {
                     if let Event::Open { name, .. } = &e {
                         seen.push(name.clone());
@@ -465,13 +475,15 @@ mod tests {
         let dict_len = dict.encoded_len();
         let mut reader = TokenReader::new(dict, dict_len as u64, plaintext.len() as u64, true);
         // A gap beyond the needed offset is rejected.
-        assert!(reader.supply(plaintext.len() as u64 + 10, &[1, 2, 3]).is_err());
+        assert!(reader
+            .supply(plaintext.len() as u64 + 10, &[1, 2, 3])
+            .is_err());
         // Stale data before the cursor is ignored.
         reader.supply(0, &plaintext[..dict_len]).unwrap();
         assert_eq!(reader.window_bytes(), 0);
         // Normal supply succeeds.
         reader.supply(0, &plaintext).unwrap();
-        assert!(matches!(reader.next().unwrap(), ReadResult::Token(_)));
+        assert!(matches!(reader.next_token().unwrap(), ReadResult::Token(_)));
     }
 
     #[test]
@@ -494,7 +506,7 @@ mod tests {
         reader.supply(0, &plaintext).unwrap();
         let mut summaries = Vec::new();
         loop {
-            match reader.next().unwrap() {
+            match reader.next_token().unwrap() {
                 ReadResult::Token(TokenEvent::Summary(s)) => summaries.push(s),
                 ReadResult::Token(_) => {}
                 ReadResult::NeedData => panic!("fully supplied"),

@@ -312,7 +312,10 @@ mod tests {
     fn summaries_appear_on_large_subtrees_only() {
         let doc = generator::hospital(&HospitalProfile::default(), &GeneratorConfig::default());
         let enc = encode(&doc, EncoderConfig::default());
-        assert!(enc.stats.summaries > 0, "hospital patients should be summarised");
+        assert!(
+            enc.stats.summaries > 0,
+            "hospital patients should be summarised"
+        );
         // Overhead stays modest (the paper's index is "very compact").
         assert!(
             enc.index_overhead() < 0.1,

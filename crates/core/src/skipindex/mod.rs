@@ -23,4 +23,4 @@ pub mod decode;
 pub mod encode;
 
 pub use decode::{SkipDecision, TokenEvent, TokenReader};
-pub use encode::{DocumentEncoder, EncoderConfig, EncodedDocument, SubtreeSummary};
+pub use encode::{DocumentEncoder, EncodedDocument, EncoderConfig, SubtreeSummary};

@@ -64,7 +64,9 @@ mod tests {
         }
         .to_string()
         .contains("chunk 3"));
-        assert!(CryptoError::UnknownKey { key_id: 9 }.to_string().contains('9'));
+        assert!(CryptoError::UnknownKey { key_id: 9 }
+            .to_string()
+            .contains('9'));
         assert!(CryptoError::BadProof {
             message: "bad index".into()
         }

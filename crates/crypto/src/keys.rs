@@ -148,8 +148,10 @@ mod tests {
     fn ring_install_get_revoke() {
         let mut ring = KeyRing::new();
         assert!(ring.is_empty());
-        ring.install(KeyId(1), SecretKey::from_bytes([1; 16])).unwrap();
-        ring.install(KeyId(2), SecretKey::from_bytes([2; 16])).unwrap();
+        ring.install(KeyId(1), SecretKey::from_bytes([1; 16]))
+            .unwrap();
+        ring.install(KeyId(2), SecretKey::from_bytes([2; 16]))
+            .unwrap();
         assert_eq!(ring.len(), 2);
         assert!(ring.contains(KeyId(1)));
         assert_eq!(ring.get(KeyId(2)).unwrap().as_bytes()[0], 2);
@@ -166,11 +168,16 @@ mod tests {
     #[test]
     fn bounded_ring_enforces_capacity() {
         let mut ring = KeyRing::with_capacity(2);
-        ring.install(KeyId(1), SecretKey::from_bytes([1; 16])).unwrap();
-        ring.install(KeyId(2), SecretKey::from_bytes([2; 16])).unwrap();
-        assert!(ring.install(KeyId(3), SecretKey::from_bytes([3; 16])).is_err());
+        ring.install(KeyId(1), SecretKey::from_bytes([1; 16]))
+            .unwrap();
+        ring.install(KeyId(2), SecretKey::from_bytes([2; 16]))
+            .unwrap();
+        assert!(ring
+            .install(KeyId(3), SecretKey::from_bytes([3; 16]))
+            .is_err());
         // Replacing an existing key is always allowed.
-        ring.install(KeyId(2), SecretKey::from_bytes([9; 16])).unwrap();
+        ring.install(KeyId(2), SecretKey::from_bytes([9; 16]))
+            .unwrap();
         assert_eq!(ring.get(KeyId(2)).unwrap().as_bytes()[0], 9);
     }
 }

@@ -82,7 +82,12 @@ impl MerkleTree {
 
     /// Root digest.
     pub fn root(&self) -> [u8; DIGEST_SIZE] {
-        *self.levels.last().expect("tree has a root").first().expect("root")
+        *self
+            .levels
+            .last()
+            .expect("tree has a root")
+            .first()
+            .expect("root")
     }
 
     /// Digest of leaf `index`.
@@ -100,10 +105,14 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling_idx = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             let sibling = level.get(sibling_idx).copied().unwrap_or(level[idx]);
             // `true` means the sibling sits on the right of the current node.
-            siblings.push((sibling, idx % 2 == 0));
+            siblings.push((sibling, idx.is_multiple_of(2)));
             idx /= 2;
         }
         Ok(MerkleProof {
@@ -258,12 +267,12 @@ mod tests {
     fn proof_encode_decode_roundtrip() {
         let data = chunks(9);
         let tree = MerkleTree::build(&data);
-        for i in 0..9 {
+        for (i, chunk) in data.iter().enumerate() {
             let proof = tree.proof(i).unwrap();
             let bytes = proof.encode();
             let back = MerkleProof::decode(&bytes).unwrap();
             assert_eq!(back, proof);
-            back.verify(&data[i], &tree.root()).unwrap();
+            back.verify(chunk, &tree.root()).unwrap();
         }
         assert!(MerkleProof::decode(&[1, 2, 3]).is_err());
         let good = tree.proof(0).unwrap().encode();

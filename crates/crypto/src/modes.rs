@@ -32,7 +32,7 @@ pub fn cbc_decrypt(
     iv: &[u8; BLOCK_SIZE],
     ciphertext: &[u8],
 ) -> Result<Vec<u8>, CryptoError> {
-    if ciphertext.is_empty() || ciphertext.len() % BLOCK_SIZE != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CryptoError::BadCiphertextLength {
             len: ciphertext.len(),
         });
@@ -79,7 +79,7 @@ pub fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
     let pad = BLOCK_SIZE - (data.len() % BLOCK_SIZE);
     let mut out = Vec::with_capacity(data.len() + pad);
     out.extend_from_slice(data);
-    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out.extend(std::iter::repeat_n(pad as u8, pad));
     out
 }
 

@@ -69,7 +69,10 @@ impl DspServer {
 
     /// Fetches a document header.
     pub fn fetch_header(&mut self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
-        let record = self.store.get(doc_id).ok_or_else(|| Self::missing(doc_id))?;
+        let record = self
+            .store
+            .get(doc_id)
+            .ok_or_else(|| Self::missing(doc_id))?;
         let header = record.document.header.clone();
         self.record(header.encode().len());
         Ok(header)
@@ -81,7 +84,10 @@ impl DspServer {
         doc_id: &str,
         index: u32,
     ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
-        let record = self.store.get(doc_id).ok_or_else(|| Self::missing(doc_id))?;
+        let record = self
+            .store
+            .get(doc_id)
+            .ok_or_else(|| Self::missing(doc_id))?;
         let chunk = record
             .document
             .chunk(index as usize)
@@ -98,7 +104,10 @@ impl DspServer {
 
     /// Fetches the protected rule blob of `subject`.
     pub fn fetch_rules(&mut self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
-        let record = self.store.get(doc_id).ok_or_else(|| Self::missing(doc_id))?;
+        let record = self
+            .store
+            .get(doc_id)
+            .ok_or_else(|| Self::missing(doc_id))?;
         let blob = record
             .rules
             .get(subject)
@@ -129,11 +138,15 @@ mod tests {
             },
             &GeneratorConfig::default(),
         );
-        let secure = SecureDocumentBuilder::new("folder", SecretKey::derive(b"s", "doc")).build(&doc);
+        let secure =
+            SecureDocumentBuilder::new("folder", SecretKey::derive(b"s", "doc")).build(&doc);
         server.store_mut().put_document(secure);
         let rules = RuleSet::parse("+, doctor, //patient").unwrap();
         let sealed = ProtectedRules::seal(&rules, &SecretKey::derive(b"s", "rules"));
-        server.store_mut().put_rules("folder", "doctor", &sealed).unwrap();
+        server
+            .store_mut()
+            .put_rules("folder", "doctor", &sealed)
+            .unwrap();
         server
     }
 

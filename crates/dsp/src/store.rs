@@ -58,9 +58,12 @@ impl DspStore {
         subject: &str,
         rules: &ProtectedRules,
     ) -> Result<(), CoreError> {
-        let record = self.documents.get_mut(doc_id).ok_or_else(|| CoreError::BadState {
-            message: format!("unknown document `{doc_id}`"),
-        })?;
+        let record = self
+            .documents
+            .get_mut(doc_id)
+            .ok_or_else(|| CoreError::BadState {
+                message: format!("unknown document `{doc_id}`"),
+            })?;
         record.rules.insert(subject.to_owned(), rules.encode());
         Ok(())
     }

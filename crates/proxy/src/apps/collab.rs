@@ -51,8 +51,7 @@ impl CollaborativeWorkspace {
         card_profile: CardProfile,
     ) -> Self {
         let server = TrustedServer::new(community_secret, initial_rules);
-        let secure =
-            SecureDocumentBuilder::new(doc_id, server.document_key()).build(document);
+        let secure = SecureDocumentBuilder::new(doc_id, server.document_key()).build(document);
         let mut dsp = DspServer::new();
         dsp.store_mut().put_document(secure);
         CollaborativeWorkspace {
@@ -93,11 +92,8 @@ impl CollaborativeWorkspace {
     pub fn terminal_for(&self, member: &str) -> Result<Terminal, ProxyError> {
         let pki = SimulatedPki::new(&self.community_secret);
         let subject = Subject::new(member);
-        let mut terminal = Terminal::issue_card(
-            member,
-            pki.card_transport_key(&subject),
-            self.card_profile,
-        );
+        let mut terminal =
+            Terminal::issue_card(member, pki.card_transport_key(&subject), self.card_profile);
         terminal.provision_from(&self.server)?;
         Ok(terminal)
     }

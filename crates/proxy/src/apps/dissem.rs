@@ -216,7 +216,10 @@ mod tests {
             .consume_in_process("trader", AccessPolicy::paper())
             .unwrap();
         assert_eq!(report.items_delivered + report.items_blocked, 12);
-        assert!(report.items_blocked > 0, "non-finance items must be blocked");
+        assert!(
+            report.items_blocked > 0,
+            "non-finance items must be blocked"
+        );
         // Real-time check: each item must be processed faster than a (slow)
         // one-item-per-ten-seconds stream on the e-gate model.
         assert!(report.meets_real_time(Duration::from_secs(10)));

@@ -125,8 +125,12 @@ impl Terminal {
 
     /// Registers a query for the next evaluation sessions.
     pub fn set_query(&mut self, query: &str) -> Result<(), ProxyError> {
-        self.runtime
-            .exchange_expect_ok(&Apdu::new(ins::PUT_QUERY, 0, 0, query.as_bytes().to_vec())?)?;
+        self.runtime.exchange_expect_ok(&Apdu::new(
+            ins::PUT_QUERY,
+            0,
+            0,
+            query.as_bytes().to_vec(),
+        )?)?;
         Ok(())
     }
 
@@ -150,8 +154,12 @@ impl Terminal {
     ) -> Result<String, ProxyError> {
         let header = dsp.fetch_header(doc_id)?;
         let policy = u8::from(self.open_policy);
-        self.runtime
-            .exchange_expect_ok(&Apdu::new(ins::OPEN_SESSION, 0, policy, header.encode())?)?;
+        self.runtime.exchange_expect_ok(&Apdu::new(
+            ins::OPEN_SESSION,
+            0,
+            policy,
+            header.encode(),
+        )?)?;
         loop {
             let next = self
                 .runtime
@@ -210,8 +218,12 @@ impl Terminal {
         let fragments = fragment_payload(&payload);
         for (i, frag) in fragments.iter().enumerate() {
             let more = u8::from(i + 1 < fragments.len());
-            self.runtime
-                .exchange_expect_ok(&Apdu::new(ins::PUSH_CHUNK, more, 0, frag.to_vec())?)?;
+            self.runtime.exchange_expect_ok(&Apdu::new(
+                ins::PUSH_CHUNK,
+                more,
+                0,
+                frag.to_vec(),
+            )?)?;
         }
         Ok(())
     }
@@ -296,13 +308,8 @@ mod tests {
         );
         terminal.provision_from(&server).unwrap();
         let view = terminal.evaluate_from_dsp(&mut dsp, "folder").unwrap();
-        let expected = authorized_view_oracle(
-            &doc,
-            &rules(),
-            &subject,
-            None,
-            &AccessPolicy::paper(),
-        );
+        let expected =
+            authorized_view_oracle(&doc, &rules(), &subject, None, &AccessPolicy::paper());
         assert_eq!(view, writer::to_string(&expected));
         assert!(view.contains("<patient"));
         assert!(!view.contains("<ssn>"));

@@ -37,8 +37,22 @@ fn rng_for(cfg: &GeneratorConfig, salt: u64) -> SmallRng {
 }
 
 const WORDS: &[&str] = &[
-    "analysis", "protocol", "routine", "confidential", "urgent", "review", "pending", "archive",
-    "summary", "detail", "internal", "external", "draft", "final", "standard", "extended",
+    "analysis",
+    "protocol",
+    "routine",
+    "confidential",
+    "urgent",
+    "review",
+    "pending",
+    "archive",
+    "summary",
+    "detail",
+    "internal",
+    "external",
+    "draft",
+    "final",
+    "standard",
+    "extended",
 ];
 
 fn random_text(rng: &mut SmallRng, approx_len: usize) -> String {
@@ -62,8 +76,12 @@ fn random_date(rng: &mut SmallRng) -> String {
 }
 
 fn person_name(rng: &mut SmallRng) -> String {
-    const FIRST: &[&str] = &["Luc", "Marie", "Paul", "Anne", "Jean", "Claire", "Hugo", "Lea"];
-    const LAST: &[&str] = &["Durand", "Martin", "Bernard", "Petit", "Moreau", "Garcia", "Roux"];
+    const FIRST: &[&str] = &[
+        "Luc", "Marie", "Paul", "Anne", "Jean", "Claire", "Hugo", "Lea",
+    ];
+    const LAST: &[&str] = &[
+        "Durand", "Martin", "Bernard", "Petit", "Moreau", "Garcia", "Roux",
+    ];
     format!(
         "{} {}",
         FIRST[rng.gen_range(0..FIRST.len())],
@@ -225,7 +243,10 @@ pub fn community(profile: &CommunityProfile, cfg: &GeneratorConfig) -> Document 
         let email = doc.add_element(contact, "email");
         doc.add_text(email, format!("user{m}@example.org"));
         let phone = doc.add_element(contact, "phone");
-        doc.add_text(phone, format!("+33 1 39 63 {:02} {:02}", m % 100, (m * 7) % 100));
+        doc.add_text(
+            phone,
+            format!("+33 1 39 63 {:02} {:02}", m % 100, (m * 7) % 100),
+        );
 
         let projects = doc.add_element(member, "projects");
         for _ in 0..profile.projects {
@@ -297,7 +318,10 @@ pub fn catalog(profile: &CatalogProfile, cfg: &GeneratorConfig) -> Document {
         let name = doc.add_element(product, "name");
         doc.add_text(name, random_text(&mut rng, 12));
         let price = doc.add_element(product, "price");
-        doc.add_text(price, format!("{}.{:02}", rng.gen_range(1..500), rng.gen_range(0..100)));
+        doc.add_text(
+            price,
+            format!("{}.{:02}", rng.gen_range(1..500), rng.gen_range(0..100)),
+        );
         let desc = doc.add_element(product, "description");
         doc.add_text(desc, random_text(&mut rng, cfg.text_len * 2));
         let stock = doc.add_element(product, "stock");

@@ -14,7 +14,10 @@
 //! * [`generator`] — parameterised synthetic document generators reproducing the
 //!   structural profiles of the corpora used in the paper's evaluation,
 //! * [`stats`] — structural statistics of documents,
-//! * [`path`] — small helpers for element paths used throughout tests.
+//! * [`path`] — small helpers for element paths used throughout tests,
+//! * [`symbols`] — interned tag/attribute name symbols shared with the
+//!   evaluator's dispatch automaton (one hash lookup per token instead of one
+//!   string comparison per rule).
 
 pub mod error;
 pub mod event;
@@ -22,6 +25,7 @@ pub mod generator;
 pub mod parser;
 pub mod path;
 pub mod stats;
+pub mod symbols;
 pub mod tags;
 pub mod tree;
 pub mod writer;
@@ -29,6 +33,7 @@ pub mod writer;
 pub use error::XmlError;
 pub use event::{Attribute, Event, EventKind};
 pub use parser::Parser;
+pub use symbols::{Symbol, SymbolTable};
 pub use tags::{TagDict, TagId, TagSet};
 pub use tree::{Document, NodeData, NodeId};
 pub use writer::Writer;

@@ -173,10 +173,7 @@ impl<'a> Parser<'a> {
                         self.pos += 1;
                     }
                     if self.peek() != Some(quote) {
-                        return Err(XmlError::malformed(
-                            "unterminated attribute value",
-                            start,
-                        ));
+                        return Err(XmlError::malformed("unterminated attribute value", start));
                     }
                     let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                     self.pos += 1;

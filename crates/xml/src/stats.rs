@@ -87,7 +87,11 @@ impl DocStats {
     pub fn summary(&self) -> String {
         format!(
             "{} elements, {} text nodes, depth {}, {} distinct tags, {} bytes",
-            self.elements, self.text_nodes, self.max_depth, self.distinct_tags, self.serialized_bytes
+            self.elements,
+            self.text_nodes,
+            self.max_depth,
+            self.distinct_tags,
+            self.serialized_bytes
         )
     }
 }

@@ -425,7 +425,10 @@ mod tests {
         d.add_text(book, "Rust");
         let b2 = d.add_element_with(root, "book", vec![Attribute::new("lang", "fr")]);
         d.add_text(b2, "XML");
-        assert_eq!(d.to_xml(), "<library><book>Rust</book><book lang=\"fr\">XML</book></library>");
+        assert_eq!(
+            d.to_xml(),
+            "<library><book>Rust</book><book lang=\"fr\">XML</book></library>"
+        );
         assert_eq!(d.ancestors(b2), vec![root]);
     }
 

@@ -192,9 +192,9 @@ impl Path {
     /// True if any step uses the descendant axis or a wildcard, i.e. the path
     /// is not a simple root-to-node name sequence.
     pub fn has_recursion_or_wildcard(&self) -> bool {
-        self.steps.iter().any(|s| {
-            s.axis == Axis::Descendant || matches!(s.test, NodeTest::Wildcard)
-        })
+        self.steps
+            .iter()
+            .any(|s| s.axis == Axis::Descendant || matches!(s.test, NodeTest::Wildcard))
     }
 
     /// True if any step carries a predicate.
@@ -300,7 +300,11 @@ mod tests {
 
     #[test]
     fn path_introspection() {
-        let p = Path::new(vec![Step::child("a"), Step::descendant("b"), Step::any_child()]);
+        let p = Path::new(vec![
+            Step::child("a"),
+            Step::descendant("b"),
+            Step::any_child(),
+        ]);
         assert_eq!(p.len(), 3);
         assert!(p.has_recursion_or_wildcard());
         assert!(!p.has_predicates());

@@ -90,7 +90,9 @@ fn step_matches(doc: &Document, node: NodeId, step: &Step) -> bool {
     if !step.test.matches(name) {
         return false;
     }
-    step.predicates.iter().all(|p| predicate_holds(doc, node, p))
+    step.predicates
+        .iter()
+        .all(|p| predicate_holds(doc, node, p))
 }
 
 /// Evaluates one predicate against a context node.
@@ -251,10 +253,16 @@ mod tests {
     fn element_path_predicates() {
         let d = doc();
         // patients that underwent surgery
-        let res = evaluate(&d, &parse("//patient[acts/act/@type = \"surgery\"]").unwrap());
+        let res = evaluate(
+            &d,
+            &parse("//patient[acts/act/@type = \"surgery\"]").unwrap(),
+        );
         assert_eq!(res.len(), 1);
         // existence predicate
-        assert_eq!(evaluate(&d, &parse("//patient[diagnosis/item]").unwrap()).len(), 2);
+        assert_eq!(
+            evaluate(&d, &parse("//patient[diagnosis/item]").unwrap()).len(),
+            2
+        );
         // value predicate on element text
         let res = evaluate(&d, &parse("//act[date = \"2004-07-01\"]/report").unwrap());
         assert_eq!(res.len(), 1);
@@ -264,7 +272,10 @@ mod tests {
     #[test]
     fn relative_descendant_predicate() {
         let d = doc();
-        assert_eq!(evaluate(&d, &parse("//patient[.//report]").unwrap()).len(), 2);
+        assert_eq!(
+            evaluate(&d, &parse("//patient[.//report]").unwrap()).len(),
+            2
+        );
         assert_eq!(
             evaluate(&d, &parse("//patient[.//report = \"xray\"]").unwrap()).len(),
             1
@@ -274,8 +285,14 @@ mod tests {
     #[test]
     fn self_text_predicate() {
         let d = doc();
-        assert_eq!(evaluate(&d, &parse("//name[. = \"Bob\"]").unwrap()).len(), 1);
-        assert_eq!(evaluate(&d, &parse("//name[. = \"Carol\"]").unwrap()).len(), 0);
+        assert_eq!(
+            evaluate(&d, &parse("//name[. = \"Bob\"]").unwrap()).len(),
+            1
+        );
+        assert_eq!(
+            evaluate(&d, &parse("//name[. = \"Carol\"]").unwrap()).len(),
+            0
+        );
         assert_eq!(evaluate(&d, &parse("//name[.]").unwrap()).len(), 2);
     }
 
@@ -315,7 +332,10 @@ mod tests {
             "<stream><item><rating>7</rating></item><item><rating>16</rating></item></stream>",
         )
         .unwrap();
-        assert_eq!(evaluate(&d, &parse("//item[rating <= 12]").unwrap()).len(), 1);
+        assert_eq!(
+            evaluate(&d, &parse("//item[rating <= 12]").unwrap()).len(),
+            1
+        );
         assert_eq!(evaluate(&d, &parse("//item[rating > 2]").unwrap()).len(), 2);
         assert_eq!(evaluate(&d, &parse("//rating[. >= 16]").unwrap()).len(), 1);
     }

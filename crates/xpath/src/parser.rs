@@ -340,7 +340,9 @@ mod tests {
 
     #[test]
     fn rejects_invalid_expressions() {
-        for bad in ["", "/", "//", "/a[", "/a]", "/a[]", "/a[@]", "/a[b =]", "/a b", "/a/[b]"] {
+        for bad in [
+            "", "/", "//", "/a[", "/a]", "/a[]", "/a[@]", "/a[b =]", "/a b", "/a/[b]",
+        ] {
             assert!(parse(bad).is_err(), "`{bad}` should not parse");
         }
     }

@@ -56,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "and the stored encrypted document is unchanged (revision {})",
-        workspace.dsp().store().get("team-workspace").unwrap().revision
+        workspace
+            .dsp()
+            .store()
+            .get("team-workspace")
+            .unwrap()
+            .revision
     );
 
     // Pull with a query: only the agenda of the community.

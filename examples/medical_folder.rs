@@ -60,7 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut server = TrustedServer::new(b"hospital-2005", rules);
     let pki = SimulatedPki::new(b"hospital-2005");
 
-    let secure = SecureDocumentBuilder::new("patient-folders", server.document_key()).build(&folder);
+    let secure =
+        SecureDocumentBuilder::new("patient-folders", server.document_key()).build(&folder);
     println!(
         "published patient folders: {} chunks, index overhead {} bytes",
         secure.chunk_count(),
@@ -86,8 +87,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Emergency exception: the on-call nurse gets temporary access to the
     // diagnosis of every patient. Only a new protected rule set is shipped.
     println!("\n-- emergency exception for the on-call nurse --");
-    server.rules_mut().push(Sign::Permit, "nurse", "//patient/name")?;
-    server.rules_mut().push(Sign::Permit, "nurse", "//diagnosis")?;
+    server
+        .rules_mut()
+        .push(Sign::Permit, "nurse", "//patient/name")?;
+    server
+        .rules_mut()
+        .push(Sign::Permit, "nurse", "//diagnosis")?;
     let (nurse_view, _) = view_of(&server, &pki, &mut dsp, "nurse", None)?;
     println!(
         "  nurse now sees {} bytes; the encrypted folder at the DSP was not touched (revision {})",

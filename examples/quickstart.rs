@@ -38,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pki = SimulatedPki::new(b"family-secret");
 
     // 4. Encrypt the document and publish it on the untrusted DSP.
-    let secure = SecureDocumentBuilder::new("family-agenda", server.document_key()).build(&document);
+    let secure =
+        SecureDocumentBuilder::new("family-agenda", server.document_key()).build(&document);
     println!(
         "published `family-agenda`: {} encrypted chunks, {} bytes of skip index",
         secure.chunk_count(),

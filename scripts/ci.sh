@@ -1,21 +1,31 @@
 #!/usr/bin/env bash
-# CI-style check for the SDDS workspace: everything tier-1 requires, plus
-# keeping the bench and example targets compiling even when not executed.
+# CI check for the SDDS workspace: formatting, lints, tier-1 build + tests
+# (with the raised property-case count), compile checks for benches and
+# examples, and the bench-regression gate against BENCH_baseline.json.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (SDDS_PROP_CASES=256)"
+SDDS_PROP_CASES=256 cargo test -q
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run
 
 echo "==> cargo build --release --examples"
 cargo build --release --examples
+
+echo "==> scripts/bench_gate.sh"
+scripts/bench_gate.sh
 
 echo "CI checks passed."

@@ -25,11 +25,7 @@ fn medical_rules() -> RuleSet {
     .unwrap()
 }
 
-fn publish(
-    server: &TrustedServer,
-    doc: &Document,
-    doc_id: &str,
-) -> DspServer {
+fn publish(server: &TrustedServer, doc: &Document, doc_id: &str) -> DspServer {
     let secure = SecureDocumentBuilder::new(doc_id, server.document_key()).build(doc);
     let mut dsp = DspServer::new();
     dsp.store_mut().put_document(secure);
@@ -43,7 +39,9 @@ fn terminal_for(server: &TrustedServer, community: &[u8], subject: &str) -> Term
         pki.card_transport_key(&Subject::new(subject)),
         CardProfile::modern_secure_element(),
     );
-    terminal.provision_from(server).expect("provisioning succeeds");
+    terminal
+        .provision_from(server)
+        .expect("provisioning succeeds");
     terminal
 }
 
@@ -107,14 +105,24 @@ fn dynamic_policy_changes_need_no_reencryption_but_static_baseline_does() {
 
     // Before the change the nurse sees nothing.
     let mut nurse = terminal_for(&server, b"hospital", "nurse");
-    assert!(nurse.evaluate_from_dsp(&mut dsp, "folders").unwrap().is_empty());
+    assert!(nurse
+        .evaluate_from_dsp(&mut dsp, "folders")
+        .unwrap()
+        .is_empty());
 
     // Grant the nurse access to names: only a new protected rule set travels.
-    server.rules_mut().push(Sign::Permit, "nurse", "//patient/name").unwrap();
+    server
+        .rules_mut()
+        .push(Sign::Permit, "nurse", "//patient/name")
+        .unwrap();
     let mut nurse = terminal_for(&server, b"hospital", "nurse");
     let view = nurse.evaluate_from_dsp(&mut dsp, "folders").unwrap();
     assert!(view.contains("<name>"));
-    assert_eq!(dsp.store().stored_bytes(), stored_before, "no re-encryption happened");
+    assert_eq!(
+        dsp.store().stored_bytes(),
+        stored_before,
+        "no re-encryption happened"
+    );
 
     // The static-encryption baseline pays for the same change.
     let mut scheme = sdds_core::baseline::StaticEncryptionScheme::build(
@@ -123,7 +131,9 @@ fn dynamic_policy_changes_need_no_reencryption_but_static_baseline_does() {
         &AccessPolicy::paper(),
     );
     let mut new_rules = medical_rules();
-    new_rules.push(Sign::Permit, "nurse", "//patient/name").unwrap();
+    new_rules
+        .push(Sign::Permit, "nurse", "//patient/name")
+        .unwrap();
     let cost = scheme.apply_rule_change(&doc, &new_rules, &AccessPolicy::paper());
     assert!(cost.bytes_reencrypted > 0);
     assert!(cost.keys_redistributed > 0);
@@ -213,7 +223,8 @@ fn generated_documents_roundtrip_through_text_serialisation() {
         let text = doc.to_xml();
         let reparsed = Document::parse(&text).unwrap();
         assert_eq!(reparsed.to_xml(), text, "corpus {}", corpus.name());
-        let events = generator::Corpus::generate(corpus, 400, &GeneratorConfig::default()).to_events();
+        let events =
+            generator::Corpus::generate(corpus, 400, &GeneratorConfig::default()).to_events();
         assert_eq!(events, doc.to_events());
     }
 }

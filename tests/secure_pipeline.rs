@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use sdds_card::{CardProfile, CostModel};
 use sdds_core::conflict::AccessPolicy;
-use sdds_core::engine::{evaluate_secure_document, EngineConfig, SecureEvaluationSession, SessionRequest};
+use sdds_core::engine::{
+    evaluate_secure_document, EngineConfig, SecureEvaluationSession, SessionRequest,
+};
 use sdds_core::evaluator::EvaluatorConfig;
 use sdds_core::rule::RuleSet;
 use sdds_core::secdoc::SecureDocumentBuilder;
@@ -69,7 +71,10 @@ fn skip_benefit_grows_with_document_size_and_restrictiveness() {
     }
     // For the largest document the realised reduction (whole chunks never
     // fetched nor decrypted) must be substantial.
-    assert!(previous_ratio < 0.7, "expected >30% decryption savings, got ratio {previous_ratio}");
+    assert!(
+        previous_ratio < 0.7,
+        "expected >30% decryption savings, got ratio {previous_ratio}"
+    );
 }
 
 #[test]
@@ -101,7 +106,8 @@ fn tampering_anywhere_is_detected_before_any_output_is_produced() {
     assert!(SecureEvaluationSession::open(header, key(), config()).is_err());
 
     // Chunk substitution: serve chunk 1 in place of chunk 0 with chunk 0's proof.
-    let mut session = SecureEvaluationSession::open(secure.header.clone(), key(), config()).unwrap();
+    let mut session =
+        SecureEvaluationSession::open(secure.header.clone(), key(), config()).unwrap();
     let SessionRequest::NeedChunk(first) = session.next_request() else {
         panic!("expected a chunk request")
     };
@@ -122,7 +128,9 @@ fn egate_ram_budget_is_respected_on_realistic_folders() {
     // card's I/O buffer) must stay within the e-gate's 1 KiB for rule sets
     // without cross-subtree pendency, independently of document size.
     let doc = Corpus::Hospital.generate(6_000, &GeneratorConfig::default());
-    let secure = SecureDocumentBuilder::new("doc", key()).chunk_size(256).build(&doc);
+    let secure = SecureDocumentBuilder::new("doc", key())
+        .chunk_size(256)
+        .build(&doc);
     let config = EngineConfig::new(EvaluatorConfig::new(restrictive_rules(), "user"));
     let (_, stats) = evaluate_secure_document(&secure, &key(), config).unwrap();
     let evaluator_peak = stats.evaluator.unwrap().peak_ram_bytes();
@@ -149,7 +157,9 @@ fn dissemination_meets_real_time_on_the_egate_model() {
         rules,
         CardProfile::modern_secure_element(),
     );
-    let report = app.consume_in_process("child", AccessPolicy::open()).unwrap();
+    let report = app
+        .consume_in_process("child", AccessPolicy::open())
+        .unwrap();
     assert_eq!(report.items_delivered + report.items_blocked, 15);
     assert!(report.items_blocked > 0);
     assert!(report.items_delivered > 0);

@@ -42,10 +42,19 @@ fn encrypted_round_trip_matches_oracle() {
 
     let secure = SecureDocumentBuilder::new("smoke-doc", key.clone())
         .chunk_size(64)
-        .encoder_config(EncoderConfig { min_index_bytes: 16, ..EncoderConfig::default() })
+        .encoder_config(EncoderConfig {
+            min_index_bytes: 16,
+            ..EncoderConfig::default()
+        })
         .build(&doc);
-    assert!(secure.chunk_count() > 1, "tiny doc should still span chunks");
-    assert!(secure.encode_stats.index_bytes > 0, "skip index must be embedded");
+    assert!(
+        secure.chunk_count() > 1,
+        "tiny doc should still span chunks"
+    );
+    assert!(
+        secure.encode_stats.index_bytes > 0,
+        "skip index must be embedded"
+    );
 
     let config = EngineConfig::new(EvaluatorConfig::new(rules.clone(), "nurse"));
     let (view, stats) = evaluate_secure_document(&secure, &key, config).expect("engine runs");
@@ -62,15 +71,24 @@ fn encrypted_round_trip_matches_oracle() {
 
     // The denied subtrees must not leak into the authorized view, and the
     // permitted ones must survive.
-    assert!(!view_text.contains("123456789"), "denied ssn leaked: {view_text}");
-    assert!(!view_text.contains("diagnosis"), "denied diagnosis leaked: {view_text}");
-    assert!(view_text.contains("checkup"), "permitted act missing: {view_text}");
+    assert!(
+        !view_text.contains("123456789"),
+        "denied ssn leaked: {view_text}"
+    );
+    assert!(
+        !view_text.contains("diagnosis"),
+        "denied diagnosis leaked: {view_text}"
+    );
+    assert!(
+        view_text.contains("checkup"),
+        "permitted act missing: {view_text}"
+    );
 
     // The engine must have decrypted something, and the skip index must have
     // let it skip at least part of the denied content.
     assert!(stats.ledger.bytes_decrypted > 0);
     assert!(
-        stats.ledger.bytes_decrypted as u64 <= secure.header.plaintext_len as u64,
+        stats.ledger.bytes_decrypted as u64 <= secure.header.plaintext_len,
         "decrypted more than the plaintext"
     );
 }

@@ -25,11 +25,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -59,7 +63,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(samples: usize) -> Self {
-        Bencher { samples, results: Vec::with_capacity(samples) }
+        Bencher {
+            samples,
+            results: Vec::with_capacity(samples),
+        }
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
@@ -83,7 +90,10 @@ impl Bencher {
         let max = self.results[self.results.len() - 1];
         println!(
             "{group}/{id}: min {:>12.3?}  median {:>12.3?}  max {:>12.3?}  ({} samples)",
-            min, med, max, self.results.len()
+            min,
+            med,
+            max,
+            self.results.len()
         );
     }
 }
@@ -137,7 +147,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 10 }
+        Criterion {
+            default_sample_size: 10,
+        }
     }
 }
 
@@ -150,10 +162,18 @@ impl Criterion {
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== group {name} ==");
-        BenchmarkGroup { name, sample_size: self.default_sample_size, _criterion: self }
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: F,
+    ) -> &mut Self {
         let mut bencher = Bencher::new(self.default_sample_size);
         routine(&mut bencher);
         bencher.report("bench", id);

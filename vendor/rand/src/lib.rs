@@ -153,6 +153,8 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "empty range")]
+    // The empty range is the point of the test: the panic message is the API.
+    #[allow(clippy::reversed_empty_ranges)]
     fn reversed_range_panics() {
         let mut rng = SmallRng::seed_from_u64(3);
         rng.gen_range(5i32..3);
