@@ -1,0 +1,32 @@
+//! E10 — multi-client DSP service: K cards round-robined over the sharded
+//! store. The wall time measured here is the *functional* cost of running the
+//! scheduler and the card emulations; the scaling claims of E10 live on the
+//! deterministic simulated clock and are reported by the harness
+//! (`e10.clients_*.shards_*` keys) and pinned by
+//! `tests/multi_client_service.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdds_bench::workloads::{multi_client, MultiClientConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_multi_client");
+    group.sample_size(10);
+    for shards in [1usize, 16] {
+        group.bench_function(format!("clients_8_shards_{shards}"), |b| {
+            b.iter(|| {
+                let outcome = multi_client(MultiClientConfig::new(8, shards));
+                outcome.total_events
+            })
+        });
+    }
+    group.bench_function("clients_64_shards_16", |b| {
+        b.iter(|| {
+            let outcome = multi_client(MultiClientConfig::new(64, 16));
+            outcome.events_per_s()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

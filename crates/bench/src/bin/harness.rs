@@ -1,5 +1,6 @@
-//! Prints, for every experiment E1–E9 of EXPERIMENTS.md, the table or series
-//! the paper's evaluation corresponds to.
+//! Prints, for every experiment E1–E9 of EXPERIMENTS.md plus the E10
+//! multi-client scaling experiment, the table or series the paper's
+//! evaluation corresponds to.
 //!
 //! Run with: `cargo run -p sdds-bench --bin harness --release`
 //!
@@ -450,6 +451,74 @@ fn e9_streaming_vs_dom(report: &mut Report) {
     }
 }
 
+fn e10_multi_client(report: &mut Report) {
+    banner(
+        "E10",
+        "multi-client DSP service: aggregate throughput and latency vs shards",
+    );
+    println!(
+        "{:>8} {:>7} {:>14} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "clients",
+        "shards",
+        "events/s",
+        "makespan",
+        "p50 (ms)",
+        "p99 (ms)",
+        "apdus saved",
+        "wall (s)"
+    );
+    // Simulated (deterministic) metrics: byte/event counters × model rates.
+    // The scheduler really multiplexes the sessions over worker threads; the
+    // clock is the cost-model one, so the numbers are machine independent.
+    let mut ratio_inputs: Vec<(usize, usize, f64)> = Vec::new();
+    for clients in [1usize, 8, 64, 256] {
+        for shards in [1usize, 16] {
+            let outcome =
+                workloads::multi_client(workloads::MultiClientConfig::new(clients, shards));
+            let events_per_s = outcome.events_per_s();
+            let p50 = outcome.latency_percentile(0.50);
+            let p99 = outcome.latency_percentile(0.99);
+            println!(
+                "{:>8} {:>7} {:>14.0} {:>10.1}ms {:>10.2} {:>10.2} {:>12} {:>10.2}",
+                clients,
+                shards,
+                events_per_s,
+                outcome.makespan().as_secs_f64() * 1e3,
+                p50.as_secs_f64() * 1e3,
+                p99.as_secs_f64() * 1e3,
+                outcome.apdus_saved,
+                outcome.wall.as_secs_f64(),
+            );
+            let prefix = format!("e10.clients_{clients}.shards_{shards}");
+            report.put(format!("{prefix}.events_per_s"), events_per_s.round());
+            report.put(
+                format!("{prefix}.p50_ms"),
+                (p50.as_secs_f64() * 1e3 * 100.0).round() / 100.0,
+            );
+            report.put(
+                format!("{prefix}.p99_ms"),
+                (p99.as_secs_f64() * 1e3 * 100.0).round() / 100.0,
+            );
+            ratio_inputs.push((clients, shards, events_per_s));
+        }
+    }
+    for clients in [64usize, 256] {
+        let of = |shards: usize| {
+            ratio_inputs
+                .iter()
+                .find(|(c, s, _)| *c == clients && *s == shards)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let ratio = if of(1) > 0.0 { of(16) / of(1) } else { 0.0 };
+        println!("  scaling @{clients} clients, 16 vs 1 shard: {ratio:.1}x");
+        report.put(
+            format!("e10.clients_{clients}.scaling_16v1"),
+            (ratio * 10.0).round() / 10.0,
+        );
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut json_path: Option<String> = None;
@@ -479,6 +548,7 @@ fn main() {
     e7_dynamic_rules(&mut report);
     e8_query_mix(&mut report);
     e9_streaming_vs_dom(&mut report);
+    e10_multi_client(&mut report);
     println!(
         "\nharness completed in {:.1} s",
         start.elapsed().as_secs_f64()

@@ -130,3 +130,164 @@ pub fn parental_rules() -> (RuleSet, AccessPolicy) {
         AccessPolicy::open(),
     )
 }
+
+// ---------------------------------------------------------------------------
+// E10 — multi-client service workload
+// ---------------------------------------------------------------------------
+
+/// Configuration of one E10 multi-client run.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiClientConfig {
+    /// Concurrent card clients (one document pull each).
+    pub clients: usize,
+    /// Shards of the DSP service store.
+    pub shards: usize,
+    /// Scheduler worker threads (keep constant across compared runs).
+    pub workers: usize,
+    /// Chunk requests served per scheduler step.
+    pub quantum: usize,
+    /// Elements of each per-client hospital document.
+    pub doc_elements: usize,
+}
+
+impl MultiClientConfig {
+    /// The E10 defaults: 4 workers, quantum 8, small per-client folders.
+    pub fn new(clients: usize, shards: usize) -> Self {
+        MultiClientConfig {
+            clients,
+            shards,
+            workers: 4,
+            quantum: 8,
+            doc_elements: 40,
+        }
+    }
+}
+
+/// Deterministic outcome of one E10 run.
+///
+/// Everything here is computed on the workspace's *simulated* clock (byte and
+/// event counters times model rates — see `sdds_card::cost`), so the numbers
+/// are machine independent: the service side is paced by the busiest shard
+/// (shards serve concurrently, each shard serially), the client side by the
+/// slowest card (cards run on their own hardware in parallel).
+#[derive(Debug, Clone)]
+pub struct MultiClientOutcome {
+    /// Events evaluated across every card.
+    pub total_events: usize,
+    /// Simulated serial service time of the busiest shard.
+    pub busiest_shard: std::time::Duration,
+    /// Per-session simulated latencies (batched channel + card crypto),
+    /// sorted ascending.
+    pub session_latencies: Vec<std::time::Duration>,
+    /// APDU exchanges saved by batching, across sessions.
+    pub apdus_saved: usize,
+    /// Wall-clock time of the run (informational; not gated).
+    pub wall: std::time::Duration,
+}
+
+impl MultiClientOutcome {
+    /// Slowest per-session simulated latency (the card-side makespan: cards
+    /// run in parallel on their own hardware).
+    pub fn slowest_session(&self) -> std::time::Duration {
+        self.latency_percentile(1.0)
+    }
+
+    /// Simulated makespan: the slower of the service side and the card side.
+    pub fn makespan(&self) -> std::time::Duration {
+        self.busiest_shard.max(self.slowest_session())
+    }
+
+    /// Aggregate simulated throughput, events per second.
+    pub fn events_per_s(&self) -> f64 {
+        let makespan = self.makespan().as_secs_f64();
+        if makespan > 0.0 {
+            self.total_events as f64 / makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency percentile (`p` in `[0, 1]`) across sessions.
+    pub fn latency_percentile(&self, p: f64) -> std::time::Duration {
+        if self.session_latencies.is_empty() {
+            return std::time::Duration::ZERO;
+        }
+        let rank = ((self.session_latencies.len() - 1) as f64 * p).round() as usize;
+        self.session_latencies[rank]
+    }
+}
+
+/// Runs the E10 multi-client workload: `clients` cards, each pulling its own
+/// folder from one shared [`sdds_dsp::DspService`], multiplexed by the fair
+/// round-robin session scheduler. Subjects rotate doctor / secretary /
+/// researcher so per-session work (and therefore latency) is heterogeneous.
+pub fn multi_client(config: MultiClientConfig) -> MultiClientOutcome {
+    use sdds_core::engine::{DEFAULT_DOC_KEY_ID, RULES_KEY_ID};
+    use sdds_core::session::TrustedServer;
+    use sdds_dsp::service::SessionScheduler;
+    use sdds_dsp::DspService;
+    use sdds_proxy::{CardSession, Terminal};
+    use std::sync::Arc;
+
+    const SUBJECTS: &[&str] = &["doctor", "secretary", "researcher"];
+    let server = TrustedServer::new(b"sdds-bench-e10", medical_rules());
+    let profile = sdds_card::CardProfile::modern_secure_element();
+
+    let service = Arc::new(DspService::new(config.shards));
+    let doc = Corpus::Hospital.generate(config.doc_elements, &GeneratorConfig::default());
+    for i in 0..config.clients {
+        let id = format!("folder-{i}");
+        let secure = SecureDocumentBuilder::new(&id, server.document_key())
+            .chunk_size(256)
+            .build(&doc);
+        service.put_document(secure);
+        let subject = sdds_core::rule::Subject::new(SUBJECTS[i % SUBJECTS.len()]);
+        service
+            .put_rules(&id, subject.name(), &server.protected_rules_for(&subject))
+            .expect("document was just uploaded");
+    }
+    service.reset_stats();
+
+    let sessions: Vec<CardSession> = (0..config.clients)
+        .map(|i| {
+            let subject = sdds_core::rule::Subject::new(SUBJECTS[i % SUBJECTS.len()]);
+            let mut terminal =
+                Terminal::issue_card(subject.name(), server.transport_key_for(&subject), profile);
+            terminal
+                .install_key(&server.provision_document_key(&subject, DEFAULT_DOC_KEY_ID))
+                .expect("provisioning keys");
+            terminal
+                .install_key(&server.provision_rules_key(&subject, RULES_KEY_ID))
+                .expect("provisioning keys");
+            terminal.connect_shared(Arc::clone(&service), format!("folder-{i}"))
+        })
+        .collect();
+
+    let start = std::time::Instant::now();
+    let report = SessionScheduler::new(config.workers, config.quantum).run(sessions);
+    let wall = start.elapsed();
+    let failures = report.failures();
+    assert!(failures.is_empty(), "E10 sessions failed: {failures:?}");
+
+    let model = profile.cost;
+    let mut total_events = 0usize;
+    let mut apdus_saved = 0usize;
+    let mut session_latencies: Vec<std::time::Duration> = report
+        .finished
+        .iter()
+        .map(|f| {
+            total_events += f.session.terminal().card_ledger().events_processed;
+            apdus_saved += f.session.batched_channel().apdus_saved();
+            f.session.simulated_latency(&model)
+        })
+        .collect();
+    session_latencies.sort();
+
+    MultiClientOutcome {
+        total_events,
+        busiest_shard: service.busiest_shard_time(),
+        session_latencies,
+        apdus_saved,
+        wall,
+    }
+}

@@ -113,6 +113,121 @@ impl ChannelMeter {
     }
 }
 
+/// Coalesces several queued request/response transfers into shared APDU
+/// batches.
+///
+/// The per-request accounting of [`ChannelMeter`] charges every logical
+/// exchange its own APDU round-trip, even when the payload is far below
+/// [`ChannelModel::max_apdu_data`] — the dominant cost of serving many small
+/// chunk requests on a high-latency link. A `BatchedChannel` instead queues
+/// the pending transfers and, on [`BatchedChannel::flush`], packs the queued
+/// bytes of each direction into as few APDUs as the payload cap allows,
+/// charging one [`ChannelModel::per_apdu_latency`] per *batch APDU* instead of
+/// one per request. The multi-client DSP service uses this for its fan-out
+/// serving loop: all chunk pushes of one scheduler quantum ride one batch.
+///
+/// Byte counters are identical to per-request accounting (batching never
+/// changes *what* is transferred, only how many round-trips carry it); the
+/// saving is visible in [`ChannelMeter::apdu_exchanges`] and in the simulated
+/// elapsed time.
+#[derive(Debug, Clone)]
+pub struct BatchedChannel {
+    model: ChannelModel,
+    /// Queued `(to_card, from_card)` transfers awaiting the next flush.
+    pending: Vec<(usize, usize)>,
+    meter: ChannelMeter,
+    batches: usize,
+    /// APDU exchanges a per-request accounting would have charged.
+    unbatched_apdus: usize,
+}
+
+impl BatchedChannel {
+    /// Creates an empty batching meter over `model`.
+    pub fn new(model: ChannelModel) -> Self {
+        BatchedChannel {
+            model,
+            pending: Vec::new(),
+            meter: ChannelMeter::new(),
+            batches: 0,
+            unbatched_apdus: 0,
+        }
+    }
+
+    /// The channel model batches are charged against.
+    pub fn model(&self) -> &ChannelModel {
+        &self.model
+    }
+
+    /// Queues one logical request of `to_card` command bytes and `from_card`
+    /// response bytes for the next batch.
+    pub fn queue(&mut self, to_card: usize, from_card: usize) {
+        self.pending.push((to_card, from_card));
+    }
+
+    /// Number of requests waiting for the next flush.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flushes the queued requests as one batch and returns the simulated
+    /// time of that batch. A no-op returning zero when nothing is queued.
+    pub fn flush(&mut self) -> Duration {
+        if self.pending.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut to_total = 0usize;
+        let mut from_total = 0usize;
+        for (to_card, from_card) in self.pending.drain(..) {
+            to_total += to_card;
+            from_total += from_card;
+            // What per-request accounting would have charged: every request is
+            // at least one exchange, fragmented on its larger direction.
+            self.unbatched_apdus += self
+                .model
+                .apdus_for(to_card)
+                .max(self.model.apdus_for(from_card));
+        }
+        // One exchange carries up to `max_apdu_data` each way, so the batch
+        // needs as many exchanges as its larger direction.
+        let apdus = self
+            .model
+            .apdus_for(to_total)
+            .max(self.model.apdus_for(from_total));
+        self.batches += 1;
+        self.meter.bytes_to_card += to_total;
+        self.meter.bytes_from_card += from_total;
+        self.meter.apdu_exchanges += apdus;
+        self.model.transfer_time(to_total + from_total, apdus)
+    }
+
+    /// Byte and APDU counters accumulated by flushed batches.
+    pub fn meter(&self) -> &ChannelMeter {
+        &self.meter
+    }
+
+    /// Batches flushed so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// APDU exchanges saved versus charging every request its own exchange.
+    pub fn apdus_saved(&self) -> usize {
+        self.unbatched_apdus
+            .saturating_sub(self.meter.apdu_exchanges)
+    }
+
+    /// Total simulated time of everything flushed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.meter.elapsed(&self.model)
+    }
+
+    /// Simulated time the same transfers would have cost without batching.
+    pub fn unbatched_elapsed(&self) -> Duration {
+        self.model
+            .transfer_time(self.meter.total_bytes(), self.unbatched_apdus)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +284,53 @@ mod tests {
         let egate = ChannelModel::egate();
         let usb = ChannelModel::usb();
         assert!(usb.transfer_time(bytes, 10) < egate.transfer_time(bytes, 10));
+    }
+
+    #[test]
+    fn batching_small_requests_shares_apdus() {
+        // Eight 60-byte requests: per-request accounting pays 8 exchanges,
+        // one batch packs 480 bytes into ceil(480/255) = 2 exchanges.
+        let mut batched = BatchedChannel::new(ChannelModel::egate());
+        for _ in 0..8 {
+            batched.queue(60, 0);
+        }
+        assert_eq!(batched.queued(), 8);
+        let time = batched.flush();
+        assert_eq!(batched.queued(), 0);
+        assert_eq!(batched.batches(), 1);
+        assert_eq!(batched.meter().apdu_exchanges, 2);
+        assert_eq!(batched.meter().bytes_to_card, 480);
+        assert_eq!(batched.apdus_saved(), 6);
+        assert!(time < batched.unbatched_elapsed());
+        assert_eq!(time, batched.elapsed());
+    }
+
+    #[test]
+    fn batch_exchanges_follow_the_larger_direction() {
+        let mut batched = BatchedChannel::new(ChannelModel::egate());
+        batched.queue(10, 600); // responses dominate: ceil(600/255) = 3
+        batched.queue(10, 0);
+        batched.flush();
+        assert_eq!(batched.meter().apdu_exchanges, 3);
+        assert_eq!(batched.meter().bytes_from_card, 600);
+        assert_eq!(batched.meter().bytes_to_card, 20);
+    }
+
+    #[test]
+    fn empty_flush_is_free_and_byte_totals_match_per_request_accounting() {
+        let mut batched = BatchedChannel::new(ChannelModel::egate());
+        assert_eq!(batched.flush(), Duration::ZERO);
+        assert_eq!(batched.batches(), 0);
+
+        let mut per_request = ChannelMeter::new();
+        for (to, from) in [(100, 20), (255, 0), (5, 5)] {
+            batched.queue(to, from);
+            per_request.record_exchange(to, from);
+        }
+        batched.flush();
+        // Batching never changes what is transferred, only the round-trips.
+        assert_eq!(batched.meter().total_bytes(), per_request.total_bytes());
+        assert!(batched.meter().apdu_exchanges <= per_request.apdu_exchanges);
+        assert_eq!(batched.model().max_apdu_data, 255);
     }
 }

@@ -27,7 +27,7 @@ pub mod resources;
 
 pub use apdu::{Apdu, ApduResponse, StatusWord};
 pub use card::{Applet, CardProfile, CardRuntime, SmartCard};
-pub use channel::{ChannelMeter, ChannelModel};
+pub use channel::{BatchedChannel, ChannelMeter, ChannelModel};
 pub use cost::{CostLedger, CostModel, LatencyBreakdown};
 pub use error::CardError;
 pub use resources::{EepromBudget, RamBudget};

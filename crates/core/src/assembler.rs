@@ -24,6 +24,7 @@ use sdds_xml::{Attribute, Event};
 
 use crate::conflict::{resolve, AccessPolicy, Decision, DirectRule};
 use crate::error::CoreError;
+use crate::rule::Sign;
 use crate::runtime::{EngineOutput, InstanceId, NodeAnnotation};
 
 /// One element currently open in the rendered view.
@@ -56,6 +57,10 @@ pub struct AssemblerStats {
     pub peak_pending_events: usize,
     /// Peak secure-RAM footprint of the assembler structures, in bytes.
     pub peak_ram_bytes: usize,
+    /// Nodes whose decision was forced conservatively because the pending
+    /// buffer hit its high-water mark (see
+    /// [`ViewAssembler::with_pending_high_water`]).
+    pub forced_resolutions: usize,
 }
 
 /// Builds the authorized view from engine outputs.
@@ -68,6 +73,7 @@ pub struct ViewAssembler {
     stack: Vec<RenderFrame>,
     ready: Vec<Event>,
     stats: AssemblerStats,
+    pending_high_water: Option<usize>,
 }
 
 impl ViewAssembler {
@@ -82,7 +88,27 @@ impl ViewAssembler {
             stack: Vec::new(),
             ready: Vec::new(),
             stats: AssemblerStats::default(),
+            pending_high_water: None,
         }
+    }
+
+    /// Caps the pending-decision buffer at `events` queued events.
+    ///
+    /// Pendency is the one component of the secure-RAM footprint that scales
+    /// with the *data* rather than with depth or rule count: a predicate rule
+    /// whose condition arrives late buffers the whole intervening subtree
+    /// (the E1 cost step at 8+ rules). With a high-water mark set, a node
+    /// whose decision is still blocked once the buffer exceeds the mark is
+    /// resolved **eagerly and conservatively**: unresolved instances count as
+    /// *not satisfied* for permits and as *satisfied* for denials, and an
+    /// unresolved query match counts as out of scope. The forced view is
+    /// therefore always a subset of the exact one — content may be withheld,
+    /// but nothing is ever delivered that exact evaluation would deny — and
+    /// the buffer (hence the assembler's secure RAM) stays bounded. Forced
+    /// nodes are counted in [`AssemblerStats::forced_resolutions`].
+    pub fn with_pending_high_water(mut self, events: Option<usize>) -> Self {
+        self.pending_high_water = events;
+        self
     }
 
     /// Counters.
@@ -173,12 +199,23 @@ impl ViewAssembler {
     }
 
     /// Renders queued events in order until one blocks on an unresolved
-    /// decision or the queue empties.
+    /// decision or the queue empties. With a pending high-water mark set, a
+    /// blocked node is forced once the buffer exceeds the mark.
     fn drain(&mut self) {
         while let Some(front) = self.queue.front() {
             match &front.event {
                 Event::Open { .. } => {
-                    match self.decide(front.annotation.as_ref()) {
+                    let mut decided = self.decide(front.annotation.as_ref(), false);
+                    if decided.is_none()
+                        && self
+                            .pending_high_water
+                            .is_some_and(|mark| self.queue.len() > mark)
+                    {
+                        self.stats.forced_resolutions += 1;
+                        decided = self.decide(front.annotation.as_ref(), true);
+                        debug_assert!(decided.is_some(), "forced decisions always resolve");
+                    }
+                    match decided {
                         Some((decision, in_scope)) => {
                             let QueuedEvent { event, .. } =
                                 self.queue.pop_front().expect("front checked above");
@@ -204,7 +241,12 @@ impl ViewAssembler {
     /// instance it depends on is unresolved. The annotation is borrowed from
     /// the queue front (cloning it per node dominated the per-event cost for
     /// large rule sets).
-    fn decide(&self, annotation: Option<&NodeAnnotation>) -> Option<(Decision, bool)> {
+    ///
+    /// With `force` set, unresolved instances are completed conservatively
+    /// instead of blocking: a permit that might apply is dropped, a denial
+    /// that might apply is applied, a query that might match is treated as
+    /// not matching — the node's subtree can only shrink, never leak.
+    fn decide(&self, annotation: Option<&NodeAnnotation>, force: bool) -> Option<(Decision, bool)> {
         let truth = |id: InstanceId| self.truth(id);
 
         // Query scope: a node is in scope if an ancestor is, or if the query
@@ -218,7 +260,11 @@ impl ViewAssembler {
             true
         } else {
             match annotation.and_then(|a| a.query.as_ref()) {
-                Some(matches) => matches.evaluate(&truth)?,
+                Some(matches) => match matches.evaluate(&truth) {
+                    Some(matched) => matched,
+                    None if force => false,
+                    None => return None,
+                },
                 None => false,
             }
         };
@@ -227,13 +273,16 @@ impl ViewAssembler {
         let annotated_direct = annotation.map(|a| a.direct.as_slice()).unwrap_or(&[]);
         let mut direct = Vec::with_capacity(annotated_direct.len());
         for m in annotated_direct {
-            match m.matches.evaluate(&truth) {
-                Some(true) => direct.push(DirectRule {
+            let applies = match m.matches.evaluate(&truth) {
+                Some(applies) => applies,
+                None if force => m.sign == Sign::Deny,
+                None => return None,
+            };
+            if applies {
+                direct.push(DirectRule {
                     rule: m.rule,
                     sign: m.sign,
-                }),
-                Some(false) => {}
-                None => return None,
+                });
             }
         }
         let inherited = self.stack.last().map(|f| f.decision);
@@ -314,6 +363,16 @@ mod tests {
         policy: AccessPolicy,
         doc: &str,
     ) -> (String, AssemblerStats) {
+        evaluate_capped(rules, query, policy, doc, None)
+    }
+
+    fn evaluate_capped(
+        rules: &[(&str, Sign)],
+        query: Option<&str>,
+        policy: AccessPolicy,
+        doc: &str,
+        pending_high_water: Option<usize>,
+    ) -> (String, AssemblerStats) {
         let compiled: Vec<EngineRule> = rules
             .iter()
             .enumerate()
@@ -324,7 +383,8 @@ mod tests {
             })
             .collect();
         let mut engine = RuleEngine::new(compiled, query.map(|q| compile_str(q).unwrap()));
-        let mut assembler = ViewAssembler::new(policy, query.is_some());
+        let mut assembler =
+            ViewAssembler::new(policy, query.is_some()).with_pending_high_water(pending_high_water);
         for event in Parser::parse_all(doc).unwrap() {
             for out in engine.process(&event) {
                 assembler.push(out);
@@ -483,6 +543,66 @@ mod tests {
         let (view, stats) = evaluate(rules, None, AccessPolicy::paper(), doc);
         assert_eq!(view, "<r></r>");
         assert!(stats.peak_pending_events >= 8);
+    }
+
+    #[test]
+    fn pending_high_water_bounds_the_buffer_conservatively() {
+        // A pending *permit* on a large subtree: exact evaluation buffers the
+        // subtree and delivers it once the flag arrives.
+        let rules: &[(&str, Sign)] = &[("//b[flag]/d", Sign::Permit)];
+        let doc = "<r><b><d><x>1</x><x>2</x><x>3</x><x>4</x></d><flag/></b></r>";
+        let (exact, exact_stats) = evaluate(rules, None, AccessPolicy::paper(), doc);
+        assert_eq!(
+            exact,
+            "<r><b><d><x>1</x><x>2</x><x>3</x><x>4</x></d></b></r>"
+        );
+        assert_eq!(exact_stats.forced_resolutions, 0);
+        assert!(exact_stats.peak_pending_events >= 10);
+
+        // Capped at 3 queued events: the d decision is forced (permit with an
+        // unresolved instance drops), the buffer stays bounded, nothing is
+        // delivered that the exact view would deny.
+        let (capped, capped_stats) =
+            evaluate_capped(rules, None, AccessPolicy::paper(), doc, Some(3));
+        assert_eq!(capped, "");
+        assert!(capped_stats.forced_resolutions >= 1);
+        assert!(
+            capped_stats.peak_pending_events <= 4,
+            "peak {} should respect the mark",
+            capped_stats.peak_pending_events
+        );
+
+        // A pending *denial* forces to "denied": still conservative.
+        let deny_rules: &[(&str, Sign)] = &[("/r", Sign::Permit), ("//b[flag]", Sign::Deny)];
+        let (capped_deny, s) =
+            evaluate_capped(deny_rules, None, AccessPolicy::paper(), doc, Some(3));
+        assert_eq!(capped_deny, "<r></r>");
+        assert!(s.forced_resolutions >= 1);
+
+        // A generous mark never triggers: the exact view is preserved.
+        let (roomy, roomy_stats) =
+            evaluate_capped(rules, None, AccessPolicy::paper(), doc, Some(100));
+        assert_eq!(roomy, exact);
+        assert_eq!(roomy_stats.forced_resolutions, 0);
+    }
+
+    #[test]
+    fn pending_high_water_forces_unresolved_query_matches_out_of_scope() {
+        // The query //b[flag] cannot be decided for b until flag arrives; the
+        // cap forces b out of scope, so nothing is delivered.
+        let rules: &[(&str, Sign)] = &[("/r", Sign::Permit)];
+        let doc = "<r><b><x>1</x><x>2</x><x>3</x><flag/></b></r>";
+        let (exact, _) = evaluate(rules, Some("//b[flag]"), AccessPolicy::paper(), doc);
+        assert_eq!(exact, "<r><b><x>1</x><x>2</x><x>3</x><flag></flag></b></r>");
+        let (capped, stats) = evaluate_capped(
+            rules,
+            Some("//b[flag]"),
+            AccessPolicy::paper(),
+            doc,
+            Some(2),
+        );
+        assert_eq!(capped, "");
+        assert!(stats.forced_resolutions >= 1);
     }
 
     #[test]

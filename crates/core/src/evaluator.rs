@@ -28,6 +28,11 @@ pub struct EvaluatorConfig {
     pub query: Option<Query>,
     /// Conflict-resolution policy.
     pub policy: AccessPolicy,
+    /// Optional cap on the assembler's pending-decision buffer, in events.
+    /// `None` (the default) buffers without limit, which is exact; with a cap,
+    /// decisions still blocked at the mark are resolved conservatively (see
+    /// [`crate::assembler::ViewAssembler::with_pending_high_water`]).
+    pub pending_high_water: Option<usize>,
 }
 
 impl EvaluatorConfig {
@@ -38,6 +43,7 @@ impl EvaluatorConfig {
             subject: Subject::new(subject),
             query: None,
             policy: AccessPolicy::paper(),
+            pending_high_water: None,
         }
     }
 
@@ -50,6 +56,13 @@ impl EvaluatorConfig {
     /// Sets the policy.
     pub fn with_policy(mut self, policy: AccessPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Caps the pending buffer at `events` queued events (eager conservative
+    /// resolution on overflow).
+    pub fn with_pending_high_water(mut self, events: usize) -> Self {
+        self.pending_high_water = Some(events);
         self
     }
 }
@@ -99,7 +112,8 @@ impl StreamingEvaluator {
         let has_query = query.is_some();
         Ok(StreamingEvaluator {
             engine: RuleEngine::new(compiled, query),
-            assembler: ViewAssembler::new(config.policy, has_query),
+            assembler: ViewAssembler::new(config.policy, has_query)
+                .with_pending_high_water(config.pending_high_water),
             subject: config.subject.clone(),
             events_in: 0,
             events_out: 0,
@@ -367,6 +381,43 @@ mod tests {
         assert!(
             large_peak <= small_peak * 2,
             "peak RAM should not scale with document size (small {small_peak}, large {large_peak})"
+        );
+    }
+
+    #[test]
+    fn pending_high_water_flows_through_the_evaluator() {
+        // A pending permit whose condition arrives only at the end of a long
+        // subtree: exact evaluation buffers everything, the capped one stays
+        // bounded and under-delivers conservatively.
+        let mut rules = RuleSet::new();
+        rules
+            .push(crate::rule::Sign::Permit, "user", "//b[flag]")
+            .unwrap();
+        let mut doc = String::from("<r><b>");
+        for i in 0..50 {
+            doc.push_str(&format!("<x>{i}</x>"));
+        }
+        doc.push_str("<flag/></b></r>");
+        let events = Parser::parse_all(&doc).unwrap();
+
+        let exact_config = EvaluatorConfig::new(rules.clone(), "user");
+        let (exact, exact_stats) =
+            StreamingEvaluator::evaluate_all(&exact_config, &events).unwrap();
+        assert!(writer::to_string(&exact).contains("<x>0</x>"));
+        assert!(exact_stats.assembler.peak_pending_events > 50);
+        assert_eq!(exact_stats.assembler.forced_resolutions, 0);
+
+        let capped_config = EvaluatorConfig::new(rules, "user").with_pending_high_water(8);
+        let (capped, capped_stats) =
+            StreamingEvaluator::evaluate_all(&capped_config, &events).unwrap();
+        assert!(capped.is_empty(), "forced permit drops the subtree");
+        assert!(capped_stats.assembler.forced_resolutions >= 1);
+        assert!(capped_stats.assembler.peak_pending_events <= 9);
+        assert!(
+            capped_stats.peak_ram_bytes() < exact_stats.peak_ram_bytes() / 4,
+            "capping pendency must cap the assembler's RAM (capped {}, exact {})",
+            capped_stats.peak_ram_bytes(),
+            exact_stats.peak_ram_bytes()
         );
     }
 

@@ -8,6 +8,8 @@
 //! rating) and delivers only the authorized part, in a streaming fashion
 //! compatible with the real-time requirement of the scenario.
 
+use std::sync::Arc;
+
 use sdds_core::secdoc::{SecureDocument, SecureDocumentBuilder};
 use sdds_core::skipindex::encode::EncoderConfig;
 use sdds_crypto::SecretKey;
@@ -32,7 +34,10 @@ pub struct DisseminationChannel {
     chunk_size: usize,
     encoder: EncoderConfig,
     next_sequence: u64,
-    published: Vec<StreamItem>,
+    /// Published history, reference counted so fan-out mailboxes can share
+    /// the very allocation the publisher keeps (one ciphertext in memory per
+    /// item, however many subscribers hold it).
+    published: Vec<Arc<StreamItem>>,
 }
 
 impl DisseminationChannel {
@@ -65,7 +70,7 @@ impl DisseminationChannel {
 
     /// Publishes one item. `item_root` must be an element of `catalog` (an
     /// item is re-packaged as a standalone single-item document).
-    pub fn publish(&mut self, catalog: &Document, item_root: NodeId) -> &StreamItem {
+    pub fn publish(&mut self, catalog: &Document, item_root: NodeId) -> Arc<StreamItem> {
         let events = catalog.subtree_events(item_root);
         let item_doc = Document::from_events(&events).expect("subtree is well formed");
         let sequence = self.next_sequence;
@@ -76,12 +81,13 @@ impl DisseminationChannel {
             .encoder_config(self.encoder)
             .build(&item_doc);
         let plaintext_len = item_doc.to_xml().len();
-        self.published.push(StreamItem {
+        let item = Arc::new(StreamItem {
             sequence,
             document: secure,
             plaintext_len,
         });
-        self.published.last().expect("just pushed")
+        self.published.push(Arc::clone(&item));
+        item
     }
 
     /// Publishes every element child of the root of `stream_doc` (convenience
@@ -98,7 +104,7 @@ impl DisseminationChannel {
     }
 
     /// Items published so far (what a late subscriber would replay).
-    pub fn published(&self) -> &[StreamItem] {
+    pub fn published(&self) -> &[Arc<StreamItem>] {
         &self.published
     }
 

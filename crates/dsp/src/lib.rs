@@ -11,12 +11,24 @@
 //!   byte accounting of everything served,
 //! * [`dissemination`] — the push-mode publisher of experiment E6: encrypted
 //!   stream items are broadcast to subscribers over unsecured channels, and
-//!   each subscriber's SOE filters what its user may see.
+//!   each subscriber's SOE filters what its user may see,
+//! * [`service`] — the concurrent multi-client layer of experiment E10: the
+//!   FNV-sharded store ([`service::ShardedStore`]), the fair round-robin
+//!   [`service::SessionScheduler`] multiplexing many card sessions, the
+//!   [`service::FanOutDisseminator`] (one encryption per item, M
+//!   subscribers), and the [`service::ServiceModel`] capacity math (see the
+//!   module docs for the architecture diagram and the knob → paper-experiment
+//!   mapping).
 
 pub mod dissemination;
 pub mod server;
+pub mod service;
 pub mod store;
 
 pub use dissemination::{DisseminationChannel, StreamItem};
 pub use server::{DspServer, ServerStats};
+pub use service::{
+    DspService, FanOutDisseminator, Schedulable, ScheduleReport, ServiceModel, SessionScheduler,
+    ShardedStore, StepOutcome,
+};
 pub use store::{DocumentRecord, DspStore};

@@ -12,7 +12,14 @@ use sdds_crypto::merkle::MerkleProof;
 
 use crate::store::DspStore;
 
-/// Serving statistics of a DSP.
+/// Serving statistics of a DSP (one front-end, or one shard of the
+/// [`crate::service::ShardedStore`]).
+///
+/// Every served payload is counted through exactly one of the `record_*`
+/// methods below, which both the single-tenant [`DspServer`] and the sharded
+/// service share — so `bytes_served` counts headers, chunks + proofs and rule
+/// blobs each exactly once, and merging per-shard statistics cannot double- or
+/// under-count any class of payload.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests served.
@@ -21,6 +28,101 @@ pub struct ServerStats {
     pub bytes_served: usize,
     /// Chunk requests served.
     pub chunks_served: usize,
+    /// Rule-blob requests served.
+    pub rule_blobs_served: usize,
+    /// Bytes of protected rule blobs served (a subset of `bytes_served`).
+    pub rule_bytes_served: usize,
+}
+
+impl ServerStats {
+    /// Records one served document header of `bytes` payload.
+    pub fn record_header(&mut self, bytes: usize) {
+        self.requests += 1;
+        self.bytes_served += bytes;
+    }
+
+    /// Records one served chunk (ciphertext + proof) of `bytes` payload.
+    pub fn record_chunk(&mut self, bytes: usize) {
+        self.requests += 1;
+        self.bytes_served += bytes;
+        self.chunks_served += 1;
+    }
+
+    /// Records one served protected rule blob of `bytes` payload.
+    pub fn record_rules(&mut self, bytes: usize) {
+        self.requests += 1;
+        self.bytes_served += bytes;
+        self.rule_blobs_served += 1;
+        self.rule_bytes_served += bytes;
+    }
+
+    /// Merges the counters of another server (or shard) into this one.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.requests += other.requests;
+        self.bytes_served += other.bytes_served;
+        self.chunks_served += other.chunks_served;
+        self.rule_blobs_served += other.rule_blobs_served;
+        self.rule_bytes_served += other.rule_bytes_served;
+    }
+}
+
+/// Serves a document header out of `store`, accounting it on `stats`. Shared
+/// by [`DspServer`] and the shards of the concurrent service so both count
+/// identically.
+pub(crate) fn serve_header(
+    store: &DspStore,
+    stats: &mut ServerStats,
+    doc_id: &str,
+) -> Result<DocumentHeader, CoreError> {
+    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    let header = record.document.header.clone();
+    stats.record_header(header.encode().len());
+    Ok(header)
+}
+
+/// Serves one encrypted chunk and its Merkle proof out of `store`.
+pub(crate) fn serve_chunk(
+    store: &DspStore,
+    stats: &mut ServerStats,
+    doc_id: &str,
+    index: u32,
+) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    let chunk = record
+        .document
+        .chunk(index as usize)
+        .ok_or_else(|| CoreError::BadState {
+            message: format!("chunk {index} out of range for `{doc_id}`"),
+        })?
+        .to_vec();
+    let proof = record.document.proof(index as usize)?;
+    stats.record_chunk(chunk.len() + proof.encode().len());
+    Ok((chunk, proof))
+}
+
+/// Serves the protected rule blob of `subject` out of `store`.
+pub(crate) fn serve_rules(
+    store: &DspStore,
+    stats: &mut ServerStats,
+    doc_id: &str,
+    subject: &str,
+) -> Result<Vec<u8>, CoreError> {
+    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    let blob = record
+        .rules
+        .get(subject)
+        .ok_or_else(|| CoreError::BadState {
+            message: format!("no rules stored for subject `{subject}` on `{doc_id}`"),
+        })?
+        .clone();
+    stats.record_rules(blob.len());
+    Ok(blob)
+}
+
+fn missing(doc_id: &str) -> CoreError {
+    CoreError::BadState {
+        message: format!("document `{doc_id}` is not stored at this DSP"),
+    }
 }
 
 /// The DSP front-end.
@@ -56,26 +158,9 @@ impl DspServer {
         self.stats = ServerStats::default();
     }
 
-    fn record(&mut self, bytes: usize) {
-        self.stats.requests += 1;
-        self.stats.bytes_served += bytes;
-    }
-
-    fn missing(doc_id: &str) -> CoreError {
-        CoreError::BadState {
-            message: format!("document `{doc_id}` is not stored at this DSP"),
-        }
-    }
-
     /// Fetches a document header.
     pub fn fetch_header(&mut self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
-        let record = self
-            .store
-            .get(doc_id)
-            .ok_or_else(|| Self::missing(doc_id))?;
-        let header = record.document.header.clone();
-        self.record(header.encode().len());
-        Ok(header)
+        serve_header(&self.store, &mut self.stats, doc_id)
     }
 
     /// Fetches one encrypted chunk and its Merkle proof.
@@ -84,39 +169,12 @@ impl DspServer {
         doc_id: &str,
         index: u32,
     ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
-        let record = self
-            .store
-            .get(doc_id)
-            .ok_or_else(|| Self::missing(doc_id))?;
-        let chunk = record
-            .document
-            .chunk(index as usize)
-            .ok_or_else(|| CoreError::BadState {
-                message: format!("chunk {index} out of range for `{doc_id}`"),
-            })?
-            .to_vec();
-        let proof = record.document.proof(index as usize)?;
-        let bytes = chunk.len() + proof.encode().len();
-        self.record(bytes);
-        self.stats.chunks_served += 1;
-        Ok((chunk, proof))
+        serve_chunk(&self.store, &mut self.stats, doc_id, index)
     }
 
     /// Fetches the protected rule blob of `subject`.
     pub fn fetch_rules(&mut self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
-        let record = self
-            .store
-            .get(doc_id)
-            .ok_or_else(|| Self::missing(doc_id))?;
-        let blob = record
-            .rules
-            .get(subject)
-            .ok_or_else(|| CoreError::BadState {
-                message: format!("no rules stored for subject `{subject}` on `{doc_id}`"),
-            })?
-            .clone();
-        self.record(blob.len());
-        Ok(blob)
+        serve_rules(&self.store, &mut self.stats, doc_id, subject)
     }
 }
 
@@ -165,6 +223,53 @@ mod tests {
         assert!(stats.bytes_served > chunk.len());
         s.reset_stats();
         assert_eq!(s.stats().requests, 0);
+    }
+
+    #[test]
+    fn rule_blob_bytes_are_counted_exactly_once() {
+        let mut s = server();
+        let blob = s.fetch_rules("folder", "doctor").unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.rule_blobs_served, 1);
+        assert_eq!(stats.rule_bytes_served, blob.len());
+        // Rule bytes are a subset of bytes_served, not an addition to it.
+        assert_eq!(stats.bytes_served, blob.len());
+        let (chunk, proof) = s.fetch_chunk("folder", 0).unwrap();
+        assert_eq!(
+            s.stats().bytes_served,
+            blob.len() + chunk.len() + proof.encode().len()
+        );
+        assert_eq!(s.stats().rule_bytes_served, blob.len());
+    }
+
+    #[test]
+    fn stats_merge_counts_every_class_once() {
+        // Two "shards" serving disjoint traffic must merge to the same totals
+        // a single server accumulating both streams would report.
+        let mut a = ServerStats::default();
+        let mut b = ServerStats::default();
+        let mut whole = ServerStats::default();
+        for (stats, bytes) in [(&mut a, 100), (&mut b, 200)] {
+            stats.record_header(10);
+            stats.record_chunk(bytes);
+            stats.record_rules(30);
+            whole.record_header(10);
+            whole.record_chunk(bytes);
+            whole.record_rules(30);
+        }
+        let mut merged = ServerStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.requests, 6);
+        assert_eq!(merged.bytes_served, 10 + 100 + 30 + 10 + 200 + 30);
+        assert_eq!(merged.chunks_served, 2);
+        assert_eq!(merged.rule_blobs_served, 2);
+        assert_eq!(merged.rule_bytes_served, 60);
+        // Merging an empty shard is the identity.
+        let before = merged;
+        merged.merge(&ServerStats::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

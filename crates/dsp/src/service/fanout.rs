@@ -1,0 +1,203 @@
+//! Multi-subscriber dissemination without per-subscriber encryption.
+//!
+//! The paper's dissemination scenario (§3, application 2) broadcasts each
+//! encrypted stream item over an unsecured channel; *selection happens in the
+//! subscriber's SOE*, not at the publisher. The consequence — the reason the
+//! architecture scales to many subscribers — is that the publisher encrypts
+//! each item **once**, regardless of how many subscribers receive it: access
+//! differentiation costs nothing at publication time because it is carried by
+//! the per-subscriber protected rules, not by per-subscriber ciphertexts.
+//!
+//! [`FanOutDisseminator`] makes that property explicit and testable: it wraps
+//! a [`DisseminationChannel`] (one encryption per published item) and hands
+//! every subscriber mailbox an [`Arc`] of the same [`StreamItem`]. The
+//! property test in `tests/fanout_properties.rs` pins both halves of the
+//! claim: the fanned-out ciphertext is byte-identical to what M independent
+//! unicast channels would have produced, and the encryption counter stays
+//! equal to the number of published items no matter how many subscribers are
+//! attached.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use sdds_crypto::SecretKey;
+use sdds_xml::{Document, NodeId};
+
+use crate::dissemination::{DisseminationChannel, StreamItem};
+
+/// Handle to one subscriber's mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberId(usize);
+
+/// One subscriber: a name (the subject whose rules its SOE enforces) and the
+/// queue of items broadcast since it joined.
+#[derive(Debug)]
+struct Subscriber {
+    subject: String,
+    mailbox: VecDeque<Arc<StreamItem>>,
+}
+
+/// Publisher-side fan-out over one dissemination channel.
+#[derive(Debug)]
+pub struct FanOutDisseminator {
+    channel: DisseminationChannel,
+    subscribers: Vec<Subscriber>,
+}
+
+impl FanOutDisseminator {
+    /// Creates a fan-out publisher for a channel named `name`, encrypting
+    /// under `key`.
+    pub fn new(name: impl Into<String>, key: SecretKey) -> Self {
+        FanOutDisseminator {
+            channel: DisseminationChannel::new(name, key),
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// The underlying channel (name, key, published history).
+    pub fn channel(&self) -> &DisseminationChannel {
+        &self.channel
+    }
+
+    /// Attaches a subscriber; it receives items published from now on.
+    pub fn subscribe(&mut self, subject: impl Into<String>) -> SubscriberId {
+        self.subscribers.push(Subscriber {
+            subject: subject.into(),
+            mailbox: VecDeque::new(),
+        });
+        SubscriberId(self.subscribers.len() - 1)
+    }
+
+    /// Number of attached subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Subject of a subscriber.
+    pub fn subject_of(&self, id: SubscriberId) -> &str {
+        &self.subscribers[id.0].subject
+    }
+
+    /// Publishes one item (an element of `catalog`): encrypts it **once** and
+    /// fans the shared ciphertext out to every subscriber mailbox — the
+    /// channel history and every mailbox hold the same allocation.
+    pub fn publish(&mut self, catalog: &Document, item_root: NodeId) -> Arc<StreamItem> {
+        let item = self.channel.publish(catalog, item_root);
+        for subscriber in &mut self.subscribers {
+            subscriber.mailbox.push_back(Arc::clone(&item));
+        }
+        item
+    }
+
+    /// Publishes every element child of the root of `stream_doc`; returns the
+    /// number of items published.
+    pub fn publish_all(&mut self, stream_doc: &Document) -> usize {
+        let Some(root) = stream_doc.root() else {
+            return 0;
+        };
+        let items: Vec<NodeId> = stream_doc.element_children(root).collect();
+        for item in &items {
+            self.publish(stream_doc, *item);
+        }
+        items.len()
+    }
+
+    /// Drains the mailbox of one subscriber.
+    pub fn drain(&mut self, id: SubscriberId) -> Vec<Arc<StreamItem>> {
+        self.subscribers[id.0].mailbox.drain(..).collect()
+    }
+
+    /// Items currently queued for one subscriber.
+    pub fn queued(&self, id: SubscriberId) -> usize {
+        self.subscribers[id.0].mailbox.len()
+    }
+
+    /// Document encryptions performed so far. Structurally one per published
+    /// item — the channel encrypts on publish and the mailboxes only ever
+    /// hold [`Arc`] clones of the channel's history entries (the sharing is
+    /// what the `Arc::ptr_eq` assertions in the tests pin).
+    pub fn encryptions(&self) -> usize {
+        self.channel.published().len()
+    }
+
+    /// Ciphertext bytes that crossed the broadcast medium. A broadcast
+    /// channel carries each item once — this does **not** scale with the
+    /// subscriber count, unlike M unicasts which would ship
+    /// `broadcast_bytes() * M`.
+    pub fn broadcast_bytes(&self) -> usize {
+        self.channel.broadcast_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_xml::generator::{self, GeneratorConfig, StreamProfile};
+
+    fn stream(items: usize) -> Document {
+        generator::stream(
+            &StreamProfile {
+                items,
+                ..StreamProfile::default()
+            },
+            &GeneratorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn one_encryption_per_item_regardless_of_subscribers() {
+        let key = SecretKey::derive(b"fanout", "c");
+        let mut fanout = FanOutDisseminator::new("feed", key);
+        let subscribers: Vec<SubscriberId> =
+            (0..32).map(|i| fanout.subscribe(format!("s{i}"))).collect();
+        assert_eq!(fanout.subscriber_count(), 32);
+        let published = fanout.publish_all(&stream(5));
+        assert_eq!(published, 5);
+        assert_eq!(fanout.encryptions(), 5, "one encryption per item, not 5*32");
+        for id in subscribers {
+            assert_eq!(fanout.queued(id), 5);
+        }
+        assert!(fanout.broadcast_bytes() > 0);
+    }
+
+    #[test]
+    fn every_mailbox_shares_the_same_ciphertext_allocation() {
+        let key = SecretKey::derive(b"fanout", "c");
+        let mut fanout = FanOutDisseminator::new("feed", key);
+        let a = fanout.subscribe("alice");
+        let b = fanout.subscribe("bob");
+        assert_eq!(fanout.subject_of(a), "alice");
+        fanout.publish_all(&stream(3));
+        let from_a = fanout.drain(a);
+        let from_b = fanout.drain(b);
+        assert_eq!(fanout.queued(a), 0);
+        for (x, y) in from_a.iter().zip(from_b.iter()) {
+            // Not just equal bytes: literally the same allocation.
+            assert!(Arc::ptr_eq(x, y));
+        }
+        // Three Arcs outstanding per item: the publisher history and the two
+        // drained vectors all share one allocation.
+        assert_eq!(Arc::strong_count(&from_a[0]), 3);
+        assert!(Arc::ptr_eq(&from_a[0], &fanout.channel().published()[0]));
+    }
+
+    #[test]
+    fn late_subscribers_receive_only_later_items() {
+        let key = SecretKey::derive(b"fanout", "c");
+        let mut fanout = FanOutDisseminator::new("feed", key);
+        let early = fanout.subscribe("early");
+        let doc = stream(4);
+        let root = doc.root().unwrap();
+        let items: Vec<NodeId> = doc.element_children(root).collect();
+        fanout.publish(&doc, items[0]);
+        fanout.publish(&doc, items[1]);
+        let late = fanout.subscribe("late");
+        fanout.publish(&doc, items[2]);
+        fanout.publish(&doc, items[3]);
+        assert_eq!(fanout.queued(early), 4);
+        assert_eq!(fanout.queued(late), 2);
+        let got: Vec<u64> = fanout.drain(late).iter().map(|i| i.sequence).collect();
+        assert_eq!(got, vec![2, 3]);
+        assert_eq!(fanout.channel().name(), "feed");
+    }
+}

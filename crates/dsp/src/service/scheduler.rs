@@ -1,0 +1,328 @@
+//! Fair multiplexing of many card sessions over a pool of worker threads.
+//!
+//! A smart-card pull session is a long conversation: hundreds of APDU
+//! exchanges and chunk requests per document. Serving K clients one after the
+//! other would give the first card exclusive use of the DSP and make the last
+//! card wait K full sessions. The [`SessionScheduler`] instead advances every
+//! session a *quantum* of chunk requests at a time: workers pop the session at
+//! the head of a shared FIFO run queue, step it once, and — if it is not done
+//! — requeue it at the tail. The FIFO requeue is what makes the schedule a
+//! fair round-robin per card: between two steps of one session, every other
+//! runnable session gets exactly one step.
+//!
+//! The scheduler is deliberately generic: anything implementing
+//! [`Schedulable`] can be multiplexed. The terminal proxy implements it for
+//! its `CardSession` (a card mid-pull against the shared [`crate::service::
+//! DspService`]), which is what the E10 multi-client experiment drives.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// What a step of a session reports back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The session made progress but has more work; requeue it.
+    Pending,
+    /// The session finished (its output can be collected from the session).
+    Complete,
+}
+
+/// A session the scheduler can advance in bounded steps.
+pub trait Schedulable: Send {
+    /// Advances the session by at most `quantum` units of work (for a card
+    /// pull session: chunk requests served). Returns [`StepOutcome::Pending`]
+    /// while more work remains; an `Err` retires the session immediately with
+    /// the given message.
+    fn step(&mut self, quantum: usize) -> Result<StepOutcome, String>;
+}
+
+/// One retired session, with its scheduling telemetry.
+#[derive(Debug)]
+pub struct FinishedSession<S> {
+    /// Position of the session in the submitted batch.
+    pub index: usize,
+    /// The session itself (views, meters and ledgers are read off it).
+    pub session: S,
+    /// Steps the scheduler granted it.
+    pub steps: usize,
+    /// Retirement rank: 0 for the first session to finish, and so on.
+    pub completion_order: usize,
+    /// Error message if the session failed rather than completed.
+    pub error: Option<String>,
+}
+
+impl<S> FinishedSession<S> {
+    /// True when the session retired without an error.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Outcome of one scheduler run.
+#[derive(Debug)]
+pub struct ScheduleReport<S> {
+    /// Every submitted session, in retirement order.
+    pub finished: Vec<FinishedSession<S>>,
+    /// Total steps granted across sessions.
+    pub steps_total: usize,
+}
+
+impl<S> ScheduleReport<S> {
+    /// Sessions that failed, as `(index, message)` pairs.
+    pub fn failures(&self) -> Vec<(usize, &str)> {
+        self.finished
+            .iter()
+            .filter_map(|f| f.error.as_deref().map(|e| (f.index, e)))
+            .collect()
+    }
+
+    /// Largest difference in granted steps between any two sessions — the
+    /// fairness figure the round-robin tests pin.
+    pub fn step_spread(&self) -> usize {
+        let steps = self.finished.iter().map(|f| f.steps);
+        match (steps.clone().max(), steps.min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+}
+
+/// A work-conserving round-robin scheduler over a fixed worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionScheduler {
+    workers: usize,
+    quantum: usize,
+}
+
+/// A session riding the run queue.
+struct Job<S> {
+    index: usize,
+    session: S,
+    steps: usize,
+}
+
+impl SessionScheduler {
+    /// Creates a scheduler with `workers` worker threads, each advancing a
+    /// session by `quantum` units per step. Both are clamped to at least 1.
+    pub fn new(workers: usize, quantum: usize) -> Self {
+        SessionScheduler {
+            workers: workers.max(1),
+            quantum: quantum.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Units of work per scheduling step.
+    pub fn quantum(&self) -> usize {
+        self.quantum
+    }
+
+    /// Runs every session to retirement and returns them with their
+    /// scheduling telemetry. Sessions are started in submission order and
+    /// requeued FIFO, so with a single worker the schedule is an exact
+    /// round-robin; with more workers it is round-robin up to the
+    /// worker-count reordering window.
+    pub fn run<S: Schedulable>(&self, sessions: Vec<S>) -> ScheduleReport<S> {
+        let queue: Mutex<VecDeque<Job<S>>> = Mutex::new(
+            sessions
+                .into_iter()
+                .enumerate()
+                .map(|(index, session)| Job {
+                    index,
+                    session,
+                    steps: 0,
+                })
+                .collect(),
+        );
+        let runnable = Condvar::new();
+        let in_flight = AtomicUsize::new(0);
+        let finished: Mutex<Vec<FinishedSession<S>>> = Mutex::new(Vec::new());
+        let steps_total = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    let job = {
+                        let mut q = queue.lock().expect("run queue poisoned");
+                        loop {
+                            if let Some(job) = q.pop_front() {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                break Some(job);
+                            }
+                            // A stepping worker requeues *before* decrementing
+                            // in_flight, so while the queue lock is held,
+                            // "empty queue and nothing in flight" really means
+                            // the run is over — checked under the lock so a
+                            // concurrent requeue cannot slip between the two
+                            // reads and retire this worker while work remains.
+                            if in_flight.load(Ordering::SeqCst) == 0 {
+                                break None;
+                            }
+                            // Otherwise sleep until a requeue or a retirement
+                            // signals (no busy spin while a straggler runs).
+                            q = runnable.wait(q).expect("run queue poisoned");
+                        }
+                    };
+                    let Some(mut job) = job else {
+                        // Wake any other idle worker so it can re-check the
+                        // termination condition and exit too.
+                        runnable.notify_all();
+                        break;
+                    };
+                    job.steps += 1;
+                    steps_total.fetch_add(1, Ordering::Relaxed);
+                    let outcome = job.session.step(self.quantum);
+                    match outcome {
+                        Ok(StepOutcome::Pending) => {
+                            queue.lock().expect("run queue poisoned").push_back(job);
+                        }
+                        Ok(StepOutcome::Complete) | Err(_) => {
+                            let mut done = finished.lock().expect("finish list poisoned");
+                            let completion_order = done.len();
+                            done.push(FinishedSession {
+                                index: job.index,
+                                session: job.session,
+                                steps: job.steps,
+                                completion_order,
+                                error: outcome.err(),
+                            });
+                        }
+                    }
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    // Either a session was requeued (runnable work) or one
+                    // retired (the termination condition may now hold): both
+                    // are events the sleepers must see.
+                    runnable.notify_all();
+                });
+            }
+        });
+
+        ScheduleReport {
+            finished: finished.into_inner().expect("finish list poisoned"),
+            steps_total: steps_total.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A session needing `remaining` units of work.
+    struct Counter {
+        remaining: usize,
+        fail_at: Option<usize>,
+    }
+
+    impl Schedulable for Counter {
+        fn step(&mut self, quantum: usize) -> Result<StepOutcome, String> {
+            if let Some(at) = self.fail_at {
+                if self.remaining <= at {
+                    return Err("boom".into());
+                }
+            }
+            self.remaining = self.remaining.saturating_sub(quantum);
+            if self.remaining == 0 {
+                Ok(StepOutcome::Complete)
+            } else {
+                Ok(StepOutcome::Pending)
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_round_robin_is_exactly_fair() {
+        let scheduler = SessionScheduler::new(1, 10);
+        let sessions = (0..8)
+            .map(|_| Counter {
+                remaining: 100,
+                fail_at: None,
+            })
+            .collect();
+        let report = scheduler.run(sessions);
+        assert_eq!(report.finished.len(), 8);
+        assert!(report.finished.iter().all(FinishedSession::is_ok));
+        // Equal work + FIFO requeue ⇒ every session got exactly 10 steps.
+        assert_eq!(report.step_spread(), 0);
+        assert_eq!(report.steps_total, 80);
+        // Round-robin retires equal sessions in submission order.
+        let order: Vec<usize> = report.finished.iter().map(|f| f.index).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn short_sessions_finish_before_long_ones_complete() {
+        let scheduler = SessionScheduler::new(2, 5);
+        let mut sessions = Vec::new();
+        for i in 0..6 {
+            sessions.push(Counter {
+                remaining: if i % 2 == 0 { 10 } else { 200 },
+                fail_at: None,
+            });
+        }
+        let report = scheduler.run(sessions);
+        assert_eq!(report.finished.len(), 6);
+        // The three short sessions all retire before any long one: fairness
+        // means a long session cannot starve the short ones behind it.
+        let short_max = report
+            .finished
+            .iter()
+            .filter(|f| f.index % 2 == 0)
+            .map(|f| f.completion_order)
+            .max()
+            .unwrap();
+        let long_min = report
+            .finished
+            .iter()
+            .filter(|f| f.index % 2 == 1)
+            .map(|f| f.completion_order)
+            .min()
+            .unwrap();
+        assert!(short_max < long_min);
+    }
+
+    #[test]
+    fn failing_sessions_retire_with_their_error_without_stalling_others() {
+        let scheduler = SessionScheduler::new(3, 7);
+        let sessions = vec![
+            Counter {
+                remaining: 50,
+                fail_at: None,
+            },
+            Counter {
+                remaining: 50,
+                fail_at: Some(30),
+            },
+            Counter {
+                remaining: 50,
+                fail_at: None,
+            },
+        ];
+        let report = scheduler.run(sessions);
+        assert_eq!(report.finished.len(), 3);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 1);
+        assert_eq!(failures[0].1, "boom");
+        assert!(report.finished.iter().filter(|f| f.is_ok()).count() == 2);
+    }
+
+    #[test]
+    fn clamps_degenerate_configuration() {
+        let scheduler = SessionScheduler::new(0, 0);
+        assert_eq!(scheduler.workers(), 1);
+        assert_eq!(scheduler.quantum(), 1);
+        let report = scheduler.run(vec![Counter {
+            remaining: 3,
+            fail_at: None,
+        }]);
+        assert_eq!(report.finished.len(), 1);
+        assert_eq!(report.finished[0].steps, 3);
+        assert_eq!(report.step_spread(), 0);
+    }
+}

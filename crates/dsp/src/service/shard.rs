@@ -1,0 +1,277 @@
+//! FNV-sharded, concurrently accessible document store.
+//!
+//! The single-tenant [`DspStore`] sits behind one `&mut self` API: every
+//! request of every client serializes on the same structure, which is exactly
+//! the bottleneck the E10 experiment measures. [`ShardedStore`] splits the
+//! document space over `N` shards keyed by the FNV-1a hash of the document id;
+//! each shard holds its own [`DspStore`] and its own [`ServerStats`] behind
+//! its own `RwLock`, so requests for documents on different shards proceed
+//! concurrently and only same-shard requests queue on one another.
+//!
+//! Serving mutates the per-shard statistics, so every request takes its
+//! shard's *write* lock — the lock models the serial capacity of one shard,
+//! which is what the service-time model of [`crate::service::ServiceModel`]
+//! charges. Global statistics are obtained by merging the per-shard counters
+//! on read ([`ShardedStore::stats`]), using the same [`ServerStats::merge`]
+//! the single-tenant server tests pin.
+
+use std::hash::Hasher;
+use std::sync::RwLock;
+
+use sdds_core::secdoc::{DocumentHeader, SecureDocument};
+use sdds_core::session::ProtectedRules;
+use sdds_core::CoreError;
+use sdds_crypto::merkle::MerkleProof;
+use sdds_xml::symbols::Fnv1a;
+
+use crate::server::{serve_chunk, serve_header, serve_rules, ServerStats};
+use crate::store::DspStore;
+
+/// FNV-1a over the document id (the workspace's [`Fnv1a`] hasher) — stable
+/// and good enough to spread ids of the form `folder-<n>` evenly over a
+/// handful of shards.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hasher = Fnv1a::default();
+    hasher.write(bytes);
+    hasher.finish()
+}
+
+/// One shard: a plain store plus its serving counters.
+#[derive(Debug, Default)]
+struct Shard {
+    store: DspStore,
+    stats: ServerStats,
+}
+
+/// A document store sharded by FNV of the document id.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl ShardedStore {
+    /// Creates a store with `shards` shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        let count = shards.max(1);
+        ShardedStore {
+            shards: (0..count).map(|_| RwLock::new(Shard::default())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Index of the shard owning `doc_id`.
+    pub fn shard_of(&self, doc_id: &str) -> usize {
+        (fnv1a(doc_id.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, doc_id: &str) -> &RwLock<Shard> {
+        &self.shards[self.shard_of(doc_id)]
+    }
+
+    /// Uploads (or replaces) a document on its shard, keeping stored rule
+    /// blobs (see [`DspStore::put_document`]).
+    pub fn put_document(&self, document: SecureDocument) {
+        self.put_document_with(document, false);
+    }
+
+    /// Uploads (or replaces) a document, choosing whether stored rule blobs
+    /// survive the replacement (see [`DspStore::put_document_with`]).
+    pub fn put_document_with(&self, document: SecureDocument, clear_rules_on_replace: bool) {
+        let shard = self.shard(&document.header.doc_id);
+        shard
+            .write()
+            .expect("shard lock poisoned")
+            .store
+            .put_document_with(document, clear_rules_on_replace);
+    }
+
+    /// Stores the protected rules of `subject` for `doc_id`.
+    pub fn put_rules(
+        &self,
+        doc_id: &str,
+        subject: &str,
+        rules: &ProtectedRules,
+    ) -> Result<(), CoreError> {
+        self.shard(doc_id)
+            .write()
+            .expect("shard lock poisoned")
+            .store
+            .put_rules(doc_id, subject, rules)
+    }
+
+    /// Fetches a document header (counted on the owning shard).
+    pub fn fetch_header(&self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
+        let mut shard = self.shard(doc_id).write().expect("shard lock poisoned");
+        let Shard { store, stats } = &mut *shard;
+        serve_header(store, stats, doc_id)
+    }
+
+    /// Fetches one encrypted chunk and its Merkle proof.
+    pub fn fetch_chunk(
+        &self,
+        doc_id: &str,
+        index: u32,
+    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+        let mut shard = self.shard(doc_id).write().expect("shard lock poisoned");
+        let Shard { store, stats } = &mut *shard;
+        serve_chunk(store, stats, doc_id, index)
+    }
+
+    /// Fetches the protected rule blob of `subject` for `doc_id`.
+    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
+        let mut shard = self.shard(doc_id).write().expect("shard lock poisoned");
+        let Shard { store, stats } = &mut *shard;
+        serve_rules(store, stats, doc_id, subject)
+    }
+
+    /// Merged statistics of every shard.
+    pub fn stats(&self) -> ServerStats {
+        let mut merged = ServerStats::default();
+        for shard in &self.shards {
+            merged.merge(&shard.read().expect("shard lock poisoned").stats);
+        }
+        merged
+    }
+
+    /// Per-shard statistics, indexed by shard (the capacity model reads the
+    /// busiest shard off this).
+    pub fn shard_stats(&self) -> Vec<ServerStats> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").stats)
+            .collect()
+    }
+
+    /// Resets the statistics of every shard.
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.write().expect("shard lock poisoned").stats = ServerStats::default();
+        }
+    }
+
+    /// Ids of every stored document, across shards (sorted).
+    pub fn document_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().expect("shard lock poisoned").store.document_ids())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of stored documents, across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").store.len())
+            .sum()
+    }
+
+    /// True when no shard stores any document.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total ciphertext bytes stored, across shards.
+    pub fn stored_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").store.stored_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdds_core::rule::RuleSet;
+    use sdds_core::secdoc::SecureDocumentBuilder;
+    use sdds_crypto::SecretKey;
+    use sdds_xml::generator::{self, GeneratorConfig, HospitalProfile};
+
+    fn document(id: &str) -> SecureDocument {
+        let doc = generator::hospital(
+            &HospitalProfile {
+                patients: 2,
+                ..HospitalProfile::default()
+            },
+            &GeneratorConfig::default(),
+        );
+        SecureDocumentBuilder::new(id, SecretKey::derive(b"s", "k")).build(&doc)
+    }
+
+    #[test]
+    fn documents_spread_over_shards_and_serve_like_one_store() {
+        let store = ShardedStore::new(4);
+        assert_eq!(store.shard_count(), 4);
+        assert!(store.is_empty());
+        for i in 0..16 {
+            store.put_document(document(&format!("doc-{i}")));
+        }
+        assert_eq!(store.len(), 16);
+        assert_eq!(store.document_ids().len(), 16);
+        assert!(store.stored_bytes() > 0);
+        // At least two distinct shards hold documents (FNV spreads 16 ids).
+        let occupied: Vec<usize> = (0..16)
+            .map(|i| store.shard_of(&format!("doc-{i}")))
+            .collect();
+        assert!(occupied.iter().any(|&s| s != occupied[0]));
+
+        let header = store.fetch_header("doc-3").unwrap();
+        let (chunk, proof) = store.fetch_chunk("doc-3", 0).unwrap();
+        proof.verify(&chunk, &header.merkle_root).unwrap();
+        assert!(store.fetch_header("doc-99").is_err());
+        assert!(store.fetch_chunk("doc-3", 9999).is_err());
+    }
+
+    #[test]
+    fn per_shard_stats_merge_on_read() {
+        let store = ShardedStore::new(4);
+        for i in 0..8 {
+            store.put_document(document(&format!("doc-{i}")));
+        }
+        let rules = RuleSet::parse("+, doctor, //patient").unwrap();
+        let sealed = ProtectedRules::seal(&rules, &SecretKey::derive(b"s", "rules"));
+        store.put_rules("doc-0", "doctor", &sealed).unwrap();
+
+        for i in 0..8 {
+            store.fetch_header(&format!("doc-{i}")).unwrap();
+            store.fetch_chunk(&format!("doc-{i}"), 0).unwrap();
+        }
+        let blob = store.fetch_rules("doc-0", "doctor").unwrap();
+
+        let merged = store.stats();
+        assert_eq!(merged.requests, 17);
+        assert_eq!(merged.chunks_served, 8);
+        assert_eq!(merged.rule_blobs_served, 1);
+        assert_eq!(merged.rule_bytes_served, blob.len());
+        // The merge really is the sum of the per-shard counters.
+        let per_shard = store.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(
+            per_shard.iter().map(|s| s.requests).sum::<usize>(),
+            merged.requests
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.bytes_served).sum::<usize>(),
+            merged.bytes_served
+        );
+
+        store.reset_stats();
+        assert_eq!(store.stats(), ServerStats::default());
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let store = ShardedStore::new(0);
+        assert_eq!(store.shard_count(), 1);
+        store.put_document(document("only"));
+        assert_eq!(store.shard_of("only"), 0);
+        assert!(store.fetch_header("only").is_ok());
+    }
+}

@@ -13,11 +13,17 @@
 //! * [`apps::collab`] — application 1, collaborative data sharing within a
 //!   community (pull, textual data, interactive latencies),
 //! * [`apps::dissem`] — application 2, selective dissemination of streams over
-//!   unsecured channels (push, per-subscriber filtering, real-time constraint).
+//!   unsecured channels (push, per-subscriber filtering, real-time constraint),
+//! * [`session`] — the [`session::CardSession`] stepped pull flow against the
+//!   shared multi-client [`sdds_dsp::DspService`]
+//!   ([`proxy::Terminal::connect_shared`]), schedulable by the service's
+//!   round-robin session scheduler.
 
 pub mod apps;
 pub mod pki;
 pub mod proxy;
+pub mod session;
 
 pub use pki::SimulatedPki;
 pub use proxy::{ProxyError, Terminal};
+pub use session::CardSession;

@@ -94,6 +94,21 @@ impl Terminal {
         self.open_policy = open;
     }
 
+    /// Whether sessions open with the open-world policy.
+    pub(crate) fn open_policy(&self) -> bool {
+        self.open_policy
+    }
+
+    /// The card runtime (used by the stepped shared-DSP session).
+    pub(crate) fn runtime_mut(&mut self) -> &mut CardRuntime<AccessControlApplet> {
+        &mut self.runtime
+    }
+
+    /// Cost model of the hosted card's hardware profile.
+    pub fn cost_model(&self) -> CostModel {
+        self.runtime.card().profile().cost
+    }
+
     /// The subject this terminal's card belongs to.
     pub fn subject(&self) -> &Subject {
         &self.subject
@@ -209,7 +224,15 @@ impl Terminal {
         Ok(view)
     }
 
-    fn push_chunk(&mut self, index: u32, chunk: &[u8], proof: &[u8]) -> Result<(), ProxyError> {
+    /// Pushes one chunk (with its proof) to the card; returns the payload
+    /// size shipped, which the batched-channel accounting of the shared
+    /// session queues per logical request.
+    pub(crate) fn push_chunk(
+        &mut self,
+        index: u32,
+        chunk: &[u8],
+        proof: &[u8],
+    ) -> Result<usize, ProxyError> {
         let mut payload = Vec::with_capacity(6 + proof.len() + chunk.len());
         payload.extend_from_slice(&index.to_le_bytes());
         payload.extend_from_slice(&(proof.len() as u16).to_le_bytes());
@@ -225,10 +248,10 @@ impl Terminal {
                 frag.to_vec(),
             )?)?;
         }
-        Ok(())
+        Ok(payload.len())
     }
 
-    fn collect_output(&mut self) -> Result<String, ProxyError> {
+    pub(crate) fn collect_output(&mut self) -> Result<String, ProxyError> {
         let mut bytes = Vec::new();
         loop {
             let part = self
