@@ -1,8 +1,8 @@
 //! E6 — push-mode selective dissemination (parental control filtering).
 use criterion::{criterion_group, criterion_main, Criterion};
+use sdds::apps::dissem::DisseminationApp;
 use sdds_bench::workloads;
 use sdds_card::CardProfile;
-use sdds_proxy::apps::dissem::DisseminationApp;
 
 fn bench(c: &mut Criterion) {
     let stream = workloads::stream(10);

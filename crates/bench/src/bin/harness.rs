@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use sdds::apps::dissem::DisseminationApp;
 use sdds_bench::workloads;
 use sdds_card::{CardProfile, CostModel};
 use sdds_core::baseline::{DomBaseline, StaticEncryptionScheme};
@@ -20,7 +21,6 @@ use sdds_core::evaluator::{EvaluatorConfig, StreamingEvaluator};
 use sdds_core::rule::{RuleSet, Sign, Subject};
 use sdds_core::secdoc::SecureDocumentBuilder;
 use sdds_core::skipindex::encode::{DocumentEncoder, EncoderConfig};
-use sdds_proxy::apps::dissem::DisseminationApp;
 use sdds_xml::generator::{self, Corpus, GeneratorConfig};
 use sdds_xml::stats::DocStats;
 

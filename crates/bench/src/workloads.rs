@@ -217,52 +217,53 @@ impl MultiClientOutcome {
     }
 }
 
-/// Runs the E10 multi-client workload: `clients` cards, each pulling its own
-/// folder from one shared [`sdds_dsp::DspService`], multiplexed by the fair
-/// round-robin session scheduler. Subjects rotate doctor / secretary /
-/// researcher so per-session work (and therefore latency) is heterogeneous.
+/// Runs the E10 multi-client workload **through the `sdds` facade**:
+/// `clients` cards, each pulling its own folder from one shared
+/// [`sdds_dsp::DspService`], multiplexed by the fair round-robin session
+/// scheduler. Subjects rotate doctor / secretary / researcher so per-session
+/// work (and therefore latency) is heterogeneous.
+///
+/// Sessions are built with [`sdds::Client`] (the same entry point
+/// applications use), so the gated `e10.*` keys — including the 1-client /
+/// 1-shard sanity point — catch any serving overhead the facade introduces.
 pub fn multi_client(config: MultiClientConfig) -> MultiClientOutcome {
-    use sdds_core::engine::{DEFAULT_DOC_KEY_ID, RULES_KEY_ID};
-    use sdds_core::session::TrustedServer;
-    use sdds_dsp::service::SessionScheduler;
-    use sdds_dsp::DspService;
-    use sdds_proxy::{CardSession, Terminal};
-    use std::sync::Arc;
+    use sdds::{CardSession, Client, Publisher, SessionScheduler};
 
     const SUBJECTS: &[&str] = &["doctor", "secretary", "researcher"];
-    let server = TrustedServer::new(b"sdds-bench-e10", medical_rules());
-    let profile = sdds_card::CardProfile::modern_secure_element();
-
-    let service = Arc::new(DspService::new(config.shards));
+    let publisher = Publisher::builder(b"sdds-bench-e10")
+        .rules(medical_rules())
+        .shards(config.shards)
+        .chunk_size(256)
+        .build();
     let doc = Corpus::Hospital.generate(config.doc_elements, &GeneratorConfig::default());
     for i in 0..config.clients {
-        let id = format!("folder-{i}");
-        let secure = SecureDocumentBuilder::new(&id, server.document_key())
-            .chunk_size(256)
-            .build(&doc);
-        service.put_document(secure);
-        let subject = sdds_core::rule::Subject::new(SUBJECTS[i % SUBJECTS.len()]);
-        service
-            .put_rules(&id, subject.name(), &server.protected_rules_for(&subject))
-            .expect("document was just uploaded");
+        publisher
+            .publish(&format!("folder-{i}"), &doc)
+            .expect("publishing the per-client folder");
     }
-    service.reset_stats();
 
-    let sessions: Vec<CardSession> = (0..config.clients)
+    let clients: Vec<Client> = (0..config.clients)
         .map(|i| {
-            let subject = sdds_core::rule::Subject::new(SUBJECTS[i % SUBJECTS.len()]);
-            let mut terminal =
-                Terminal::issue_card(subject.name(), server.transport_key_for(&subject), profile);
-            terminal
-                .install_key(&server.provision_document_key(&subject, DEFAULT_DOC_KEY_ID))
-                .expect("provisioning keys");
-            terminal
-                .install_key(&server.provision_rules_key(&subject, RULES_KEY_ID))
-                .expect("provisioning keys");
-            terminal.connect_shared(Arc::clone(&service), format!("folder-{i}"))
+            Client::builder(SUBJECTS[i % SUBJECTS.len()])
+                .provision(&publisher)
+                .expect("provisioning the client")
+        })
+        .collect();
+    // Setup (uploads, provisioning) is not part of the measured serving load.
+    publisher.service().reset_stats();
+
+    let sessions: Vec<CardSession> = clients
+        .iter()
+        .enumerate()
+        .map(|(i, client)| {
+            client
+                .connect(format!("folder-{i}"))
+                .expect("connecting the session")
         })
         .collect();
 
+    let profile = sdds_card::CardProfile::modern_secure_element();
+    let service = std::sync::Arc::clone(publisher.service());
     let start = std::time::Instant::now();
     let report = SessionScheduler::new(config.workers, config.quantum).run(sessions);
     let wall = start.elapsed();

@@ -30,7 +30,7 @@ impl CostModel {
     /// The e-gate profile of the demo (§3): 2 KB/s channel, a crypto
     /// co-processor around 100 KB/s for 3DES-class decryption, ~50 KB/s
     /// hashing, and an evaluation rate of about 20 000 events/s measured for
-    /// the C prototype on the cycle-accurate card simulator of [2].
+    /// the C prototype on the cycle-accurate card simulator of \[2\].
     pub fn egate() -> Self {
         CostModel {
             channel: ChannelModel::egate(),

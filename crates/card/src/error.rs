@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by the card runtime and its resource budgets.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CardError {
     /// The secure working memory budget would be exceeded.
     RamExceeded {

@@ -180,6 +180,18 @@ impl SecureEvaluationSession {
         std::mem::take(&mut self.output)
     }
 
+    /// Accounts one chunk transfer on the session ledger (`wire_bytes` served
+    /// to the SOE, `produced_bytes` of authorized output shipped back) — the
+    /// channel-side counterpart of [`SecureEvaluationSession::supply_chunk`]
+    /// used by drivers outside this crate (e.g. the facade's `ViewStream`),
+    /// mirroring what [`run_local`] records.
+    pub fn record_exchange(&mut self, wire_bytes: usize, produced_bytes: usize) {
+        self.stats
+            .ledger
+            .channel
+            .record_exchange(wire_bytes, produced_bytes);
+    }
+
     /// Finishes the session and returns the final statistics.
     pub fn finish(mut self) -> Result<(Vec<Event>, SessionStats), CoreError> {
         if !self.done {

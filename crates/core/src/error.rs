@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by rule compilation, the secure document codec and the engine.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A rule object or query uses a construct outside the supported streaming
     /// fragment (e.g. predicates nested inside predicate paths).

@@ -65,6 +65,34 @@ impl EvaluatorConfig {
         self.pending_high_water = Some(events);
         self
     }
+
+    /// Derives the pending high-water mark from a secure-RAM budget in
+    /// `bytes` (e.g. the card profile's RAM size): half the budget is left to
+    /// the engine working set (token stack, automaton states, render stack),
+    /// the other half bounds the pending-decision buffer at
+    /// [`PENDING_EVENT_ESTIMATE_BYTES`] per queued event. The mark is never
+    /// below one event, so pendency degrades to immediate conservative
+    /// resolution rather than panicking on tiny budgets.
+    ///
+    /// This is the automatic counterpart of
+    /// [`EvaluatorConfig::with_pending_high_water`]: the SOE picks the mark
+    /// from the hardware budget instead of the caller tuning it by hand.
+    pub fn with_ram_budget(self, bytes: usize) -> Self {
+        self.with_pending_high_water(derive_pending_high_water(bytes))
+    }
+}
+
+/// Estimated secure-RAM cost of one queued pending event: ~16 B of queue
+/// bookkeeping plus the serialized payload of a typical small element event
+/// (see `ViewAssembler::ram_bytes`, which charges `serialized_len() + 16` per
+/// queued event).
+pub const PENDING_EVENT_ESTIMATE_BYTES: usize = 64;
+
+/// The [`EvaluatorConfig::with_ram_budget`] derivation, exposed for tests and
+/// for callers that want the mark without building a config: half of `bytes`
+/// divided by the per-event estimate, floored at one event.
+pub fn derive_pending_high_water(bytes: usize) -> usize {
+    ((bytes / 2) / PENDING_EVENT_ESTIMATE_BYTES).max(1)
 }
 
 /// Combined statistics of an evaluation session.
@@ -419,6 +447,46 @@ mod tests {
             capped_stats.peak_ram_bytes(),
             exact_stats.peak_ram_bytes()
         );
+    }
+
+    #[test]
+    fn ram_budget_derives_the_pending_high_water_mark() {
+        // The derivation contract: half the budget, 64 estimated bytes per
+        // queued event, floored at one event. Pinned on the two card profiles
+        // and the degenerate budgets.
+        assert_eq!(derive_pending_high_water(1024), 8); // e-gate: 1 KiB
+        assert_eq!(derive_pending_high_water(8 * 1024), 64); // modern SE: 8 KiB
+        assert_eq!(derive_pending_high_water(0), 1);
+        assert_eq!(derive_pending_high_water(127), 1);
+        assert_eq!(
+            derive_pending_high_water(2 * PENDING_EVENT_ESTIMATE_BYTES),
+            1
+        );
+        assert_eq!(
+            derive_pending_high_water(4 * PENDING_EVENT_ESTIMATE_BYTES),
+            2
+        );
+
+        // The builder wires the derived mark into the config.
+        let config = EvaluatorConfig::new(RuleSet::new(), "user").with_ram_budget(1024);
+        assert_eq!(config.pending_high_water, Some(8));
+
+        // And the derived mark really bounds the pending buffer: same
+        // workload as the manual-mark test above, budget-driven this time.
+        let mut rules = RuleSet::new();
+        rules
+            .push(crate::rule::Sign::Permit, "user", "//b[flag]")
+            .unwrap();
+        let mut doc = String::from("<r><b>");
+        for i in 0..50 {
+            doc.push_str(&format!("<x>{i}</x>"));
+        }
+        doc.push_str("<flag/></b></r>");
+        let events = Parser::parse_all(&doc).unwrap();
+        let config = EvaluatorConfig::new(rules, "user").with_ram_budget(1024);
+        let (_, stats) = StreamingEvaluator::evaluate_all(&config, &events).unwrap();
+        assert!(stats.assembler.peak_pending_events <= 9);
+        assert!(stats.assembler.forced_resolutions >= 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! automata per event (which scales linearly with the installed rule count —
 //! the E1 cliff), it dispatches through one combined structure:
 //!
-//! * the **token stack** is the per-depth [`Frame`] vector: every navigational
+//! * the **token stack** is the per-depth `Frame` vector: every navigational
 //!   state activated by an element is recorded in that element's frame and
 //!   discarded when the element closes (backtracking),
 //! * active states sit on [`DispatchTable`] trie nodes shared by every rule
@@ -23,7 +23,7 @@
 //!   wildcard waiters),
 //! * the **predicate set** is the [`InstanceId`] space: every deferred
 //!   predicate encountered along a navigational run spawns a *pending
-//!   instance* referencing an arena-backed [`PredProgram`] (no per-instance
+//!   instance* referencing an arena-backed `PredProgram` (no per-instance
 //!   copy of the predicate), resolved to `true` when its predicate path
 //!   reaches its final state (and its value condition holds) or to `false`
 //!   when its context element closes,

@@ -23,7 +23,7 @@ pub enum TokenEvent {
     Summary(SubtreeSummary),
 }
 
-/// Outcome of a [`TokenReader::next`] call.
+/// Outcome of a [`TokenReader::next_token`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReadResult {
     /// A token was decoded.

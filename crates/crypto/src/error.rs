@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by the cryptographic primitives.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CryptoError {
     /// Ciphertext length is not compatible with the mode (e.g. not a multiple
     /// of the block size for CBC).

@@ -5,21 +5,27 @@
 //! rule blob of its subject. The server counts every byte it serves — the
 //! transfer-volume results of experiments E2 and E5 are read off these
 //! counters on one side and off the card ledger on the other.
+//!
+//! Since the facade redesign there is exactly **one** serving code path in the
+//! workspace: the sharded [`crate::service::DspService`]. The single-tenant
+//! [`DspServer`] kept here is a thin convenience wrapper over a one-shard
+//! service — it cannot drift from the sharded path because it *is* the sharded
+//! path.
 
-use sdds_core::secdoc::DocumentHeader;
+use sdds_core::secdoc::{DocumentHeader, SecureDocument};
+use sdds_core::session::ProtectedRules;
 use sdds_core::CoreError;
 use sdds_crypto::merkle::MerkleProof;
 
-use crate::store::DspStore;
+use crate::service::DspService;
 
 /// Serving statistics of a DSP (one front-end, or one shard of the
 /// [`crate::service::ShardedStore`]).
 ///
 /// Every served payload is counted through exactly one of the `record_*`
-/// methods below, which both the single-tenant [`DspServer`] and the sharded
-/// service share — so `bytes_served` counts headers, chunks + proofs and rule
-/// blobs each exactly once, and merging per-shard statistics cannot double- or
-/// under-count any class of payload.
+/// methods below, inside the shard that served it — so `bytes_served` counts
+/// headers, chunks + proofs and rule blobs each exactly once, and merging
+/// per-shard statistics cannot double- or under-count any class of payload.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests served.
@@ -66,115 +72,96 @@ impl ServerStats {
     }
 }
 
-/// Serves a document header out of `store`, accounting it on `stats`. Shared
-/// by [`DspServer`] and the shards of the concurrent service so both count
-/// identically.
-pub(crate) fn serve_header(
-    store: &DspStore,
-    stats: &mut ServerStats,
-    doc_id: &str,
-) -> Result<DocumentHeader, CoreError> {
-    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
-    let header = record.document.header.clone();
-    stats.record_header(header.encode().len());
-    Ok(header)
-}
-
-/// Serves one encrypted chunk and its Merkle proof out of `store`.
-pub(crate) fn serve_chunk(
-    store: &DspStore,
-    stats: &mut ServerStats,
-    doc_id: &str,
-    index: u32,
-) -> Result<(Vec<u8>, MerkleProof), CoreError> {
-    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
-    let chunk = record
-        .document
-        .chunk(index as usize)
-        .ok_or_else(|| CoreError::BadState {
-            message: format!("chunk {index} out of range for `{doc_id}`"),
-        })?
-        .to_vec();
-    let proof = record.document.proof(index as usize)?;
-    stats.record_chunk(chunk.len() + proof.encode().len());
-    Ok((chunk, proof))
-}
-
-/// Serves the protected rule blob of `subject` out of `store`.
-pub(crate) fn serve_rules(
-    store: &DspStore,
-    stats: &mut ServerStats,
-    doc_id: &str,
-    subject: &str,
-) -> Result<Vec<u8>, CoreError> {
-    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
-    let blob = record
-        .rules
-        .get(subject)
-        .ok_or_else(|| CoreError::BadState {
-            message: format!("no rules stored for subject `{subject}` on `{doc_id}`"),
-        })?
-        .clone();
-    stats.record_rules(blob.len());
-    Ok(blob)
-}
-
-fn missing(doc_id: &str) -> CoreError {
-    CoreError::BadState {
-        message: format!("document `{doc_id}` is not stored at this DSP"),
-    }
-}
-
-/// The DSP front-end.
-#[derive(Debug, Default)]
+/// The single-tenant DSP front-end: a one-shard [`DspService`].
+#[derive(Debug)]
 pub struct DspServer {
-    store: DspStore,
-    stats: ServerStats,
+    service: DspService,
+}
+
+impl Default for DspServer {
+    fn default() -> Self {
+        DspServer::new()
+    }
 }
 
 impl DspServer {
-    /// Creates a server over an empty store.
+    /// Creates a server over an empty one-shard store.
     pub fn new() -> Self {
-        DspServer::default()
+        DspServer {
+            service: DspService::new(1),
+        }
     }
 
-    /// Access to the underlying store (uploads).
-    pub fn store_mut(&mut self) -> &mut DspStore {
-        &mut self.store
+    /// The underlying (one-shard) service.
+    pub fn service(&self) -> &DspService {
+        &self.service
     }
 
-    /// Read access to the store.
-    pub fn store(&self) -> &DspStore {
-        &self.store
+    /// Uploads (or replaces) a document, keeping stored rule blobs.
+    pub fn put_document(&self, document: SecureDocument) {
+        self.service.put_document(document);
+    }
+
+    /// Uploads (or replaces) a document, choosing whether stored rule blobs
+    /// survive the replacement (see
+    /// [`crate::store::DspStore::put_document_with`]).
+    pub fn put_document_with(&self, document: SecureDocument, clear_rules_on_replace: bool) {
+        self.service
+            .put_document_with(document, clear_rules_on_replace);
+    }
+
+    /// Stores the protected rules of `subject` for `doc_id`.
+    pub fn put_rules(
+        &self,
+        doc_id: &str,
+        subject: &str,
+        rules: &ProtectedRules,
+    ) -> Result<(), CoreError> {
+        self.service.put_rules(doc_id, subject, rules)
     }
 
     /// Serving statistics.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.service.stats()
     }
 
     /// Resets the serving statistics (between experiment runs).
-    pub fn reset_stats(&mut self) {
-        self.stats = ServerStats::default();
+    pub fn reset_stats(&self) {
+        self.service.reset_stats();
+    }
+
+    /// Upload revision of a stored document (`None` if unknown).
+    pub fn revision(&self, doc_id: &str) -> Option<u64> {
+        self.service.revision(doc_id)
+    }
+
+    /// True when `doc_id` is stored.
+    pub fn contains(&self, doc_id: &str) -> bool {
+        self.service.contains(doc_id)
+    }
+
+    /// Total ciphertext bytes stored.
+    pub fn stored_bytes(&self) -> usize {
+        self.service.store().stored_bytes()
     }
 
     /// Fetches a document header.
-    pub fn fetch_header(&mut self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
-        serve_header(&self.store, &mut self.stats, doc_id)
+    pub fn fetch_header(&self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
+        self.service.fetch_header(doc_id)
     }
 
     /// Fetches one encrypted chunk and its Merkle proof.
     pub fn fetch_chunk(
-        &mut self,
+        &self,
         doc_id: &str,
         index: u32,
     ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
-        serve_chunk(&self.store, &mut self.stats, doc_id, index)
+        self.service.fetch_chunk(doc_id, index)
     }
 
     /// Fetches the protected rule blob of `subject`.
-    pub fn fetch_rules(&mut self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
-        serve_rules(&self.store, &mut self.stats, doc_id, subject)
+    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
+        self.service.fetch_rules(doc_id, subject)
     }
 }
 
@@ -188,7 +175,7 @@ mod tests {
     use sdds_xml::generator::{self, GeneratorConfig, HospitalProfile};
 
     fn server() -> DspServer {
-        let mut server = DspServer::new();
+        let server = DspServer::new();
         let doc = generator::hospital(
             &HospitalProfile {
                 patients: 3,
@@ -198,19 +185,26 @@ mod tests {
         );
         let secure =
             SecureDocumentBuilder::new("folder", SecretKey::derive(b"s", "doc")).build(&doc);
-        server.store_mut().put_document(secure);
+        server.put_document(secure);
         let rules = RuleSet::parse("+, doctor, //patient").unwrap();
         let sealed = ProtectedRules::seal(&rules, &SecretKey::derive(b"s", "rules"));
-        server
-            .store_mut()
-            .put_rules("folder", "doctor", &sealed)
-            .unwrap();
+        server.put_rules("folder", "doctor", &sealed).unwrap();
         server
     }
 
     #[test]
+    fn single_tenant_server_is_a_one_shard_service() {
+        let s = server();
+        assert_eq!(s.service().shard_count(), 1);
+        assert_eq!(s.revision("folder"), Some(0));
+        assert!(s.contains("folder"));
+        assert!(!s.contains("nope"));
+        assert!(s.stored_bytes() > 0);
+    }
+
+    #[test]
     fn serves_headers_chunks_and_rules_with_accounting() {
-        let mut s = server();
+        let s = server();
         let header = s.fetch_header("folder").unwrap();
         assert_eq!(header.doc_id, "folder");
         let (chunk, proof) = s.fetch_chunk("folder", 0).unwrap();
@@ -227,7 +221,7 @@ mod tests {
 
     #[test]
     fn rule_blob_bytes_are_counted_exactly_once() {
-        let mut s = server();
+        let s = server();
         let blob = s.fetch_rules("folder", "doctor").unwrap();
         let stats = s.stats();
         assert_eq!(stats.rule_blobs_served, 1);
@@ -274,10 +268,10 @@ mod tests {
 
     #[test]
     fn unknown_objects_are_reported() {
-        let mut s = server();
+        let s = server();
         assert!(s.fetch_header("nope").is_err());
         assert!(s.fetch_chunk("folder", 9999).is_err());
         assert!(s.fetch_rules("folder", "stranger").is_err());
-        assert!(s.store().get("folder").is_some());
+        assert!(s.contains("folder"));
     }
 }

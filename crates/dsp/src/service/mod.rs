@@ -39,7 +39,7 @@
 //! * **scheduler workers / quantum** — the terminal-side multiplexing of E5
 //!   run K-wide; the quantum bounds how long one card can monopolise the
 //!   service between turns of the others (fair round-robin per card).
-//! * **[`sdds_card::BatchedChannel`]** — the E5 latency breakdown's
+//! * **`sdds_card::BatchedChannel`** — the E5 latency breakdown's
 //!   `per_apdu_latency`, charged once per coalesced batch instead of once per
 //!   chunk request.
 //! * **[`FanOutDisseminator`]** — E6 dissemination at M subscribers: one
@@ -193,6 +193,16 @@ impl DspService {
     /// Fetches the protected rule blob of `subject` for `doc_id`.
     pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
         self.store.fetch_rules(doc_id, subject)
+    }
+
+    /// Upload revision of a stored document (`None` if unknown).
+    pub fn revision(&self, doc_id: &str) -> Option<u64> {
+        self.store.revision(doc_id)
+    }
+
+    /// True when `doc_id` is stored.
+    pub fn contains(&self, doc_id: &str) -> bool {
+        self.store.contains(doc_id)
     }
 
     /// Merged serving statistics across shards.

@@ -24,8 +24,71 @@ use sdds_core::CoreError;
 use sdds_crypto::merkle::MerkleProof;
 use sdds_xml::symbols::Fnv1a;
 
-use crate::server::{serve_chunk, serve_header, serve_rules, ServerStats};
+use crate::server::ServerStats;
 use crate::store::DspStore;
+
+// ---------------------------------------------------------------------------
+// The one serving path of the workspace: every header, chunk and rule blob —
+// whether requested through the sharded service or through the single-tenant
+// `DspServer` wrapper — is served and accounted by these helpers.
+// ---------------------------------------------------------------------------
+
+/// Serves a document header out of `store`, accounting it on `stats`.
+fn serve_header(
+    store: &DspStore,
+    stats: &mut ServerStats,
+    doc_id: &str,
+) -> Result<DocumentHeader, CoreError> {
+    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    let header = record.document.header.clone();
+    stats.record_header(header.encode().len());
+    Ok(header)
+}
+
+/// Serves one encrypted chunk and its Merkle proof out of `store`.
+fn serve_chunk(
+    store: &DspStore,
+    stats: &mut ServerStats,
+    doc_id: &str,
+    index: u32,
+) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    let chunk = record
+        .document
+        .chunk(index as usize)
+        .ok_or_else(|| CoreError::BadState {
+            message: format!("chunk {index} out of range for `{doc_id}`"),
+        })?
+        .to_vec();
+    let proof = record.document.proof(index as usize)?;
+    stats.record_chunk(chunk.len() + proof.encode().len());
+    Ok((chunk, proof))
+}
+
+/// Serves the protected rule blob of `subject` out of `store`.
+fn serve_rules(
+    store: &DspStore,
+    stats: &mut ServerStats,
+    doc_id: &str,
+    subject: &str,
+) -> Result<Vec<u8>, CoreError> {
+    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    let blob = record
+        .rules
+        .get(subject)
+        .ok_or_else(|| CoreError::BadState {
+            message: format!("no rules stored for subject `{subject}` on `{doc_id}`"),
+        })?
+        .clone();
+    stats.record_rules(blob.len());
+    Ok(blob)
+}
+
+fn missing(doc_id: &str) -> CoreError {
+    CoreError::BadState {
+        message: format!("document `{doc_id}` is not stored at this DSP"),
+    }
+}
 
 /// FNV-1a over the document id (the workspace's [`Fnv1a`] hasher) — stable
 /// and good enough to spread ids of the form `folder-<n>` evenly over a
@@ -151,6 +214,21 @@ impl ShardedStore {
         for shard in &self.shards {
             shard.write().expect("shard lock poisoned").stats = ServerStats::default();
         }
+    }
+
+    /// Upload revision of `doc_id` (`None` when the document is not stored).
+    pub fn revision(&self, doc_id: &str) -> Option<u64> {
+        self.shard(doc_id)
+            .read()
+            .expect("shard lock poisoned")
+            .store
+            .get(doc_id)
+            .map(|record| record.revision)
+    }
+
+    /// True when `doc_id` is stored on its shard.
+    pub fn contains(&self, doc_id: &str) -> bool {
+        self.revision(doc_id).is_some()
     }
 
     /// Ids of every stored document, across shards (sorted).

@@ -1,25 +1,25 @@
-//! Terminal proxy and demo applications.
+//! Terminal proxy of the SDDS architecture.
 //!
 //! Figure 3 of the paper places, on the device hosting the smart card, a
 //! *proxy* that lets applications talk to the DSP and to the card "through an
 //! XML API independent of the underlying protocols (JDBC, APDU)". This crate
-//! is that terminal-side software plus the two demonstration applications:
+//! is that terminal-side software:
 //!
 //! * [`pki`] — the simulated PKI of the demo (footnote 2: "we will not use a
 //!   PKI infrastructure but rather simulate it"),
-//! * [`proxy`] — the [`proxy::Terminal`]: card issuance, provisioning, and the
-//!   pull-mode document evaluation loop (fetch header → let the card request
-//!   chunks → push them over APDUs → reassemble the authorized view),
-//! * [`apps::collab`] — application 1, collaborative data sharing within a
-//!   community (pull, textual data, interactive latencies),
-//! * [`apps::dissem`] — application 2, selective dissemination of streams over
-//!   unsecured channels (push, per-subscriber filtering, real-time constraint),
+//! * [`proxy`] — the [`proxy::Terminal`]: card issuance, key/rule/query
+//!   provisioning over APDUs, and push-mode local evaluation,
 //! * [`session`] — the [`session::CardSession`] stepped pull flow against the
 //!   shared multi-client [`sdds_dsp::DspService`]
 //!   ([`proxy::Terminal::connect_shared`]), schedulable by the service's
-//!   round-robin session scheduler.
+//!   round-robin session scheduler. This is the **only** pull-mode serving
+//!   path of the workspace — the single-tenant loop it replaced is gone.
+//!
+//! Applications are expected to use the top-level `sdds::Client` /
+//! `sdds::Publisher` facade (root crate), which wires a PKI, a card profile
+//! and a `DspService` handle around these primitives; the demo applications
+//! live there too (`sdds::apps`).
 
-pub mod apps;
 pub mod pki;
 pub mod proxy;
 pub mod session;

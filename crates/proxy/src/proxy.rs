@@ -4,10 +4,13 @@
 //! applications to communicate easily with the different elements of the
 //! architecture through an XML API independent of the underlying protocols
 //! (JDBC, APDU)" (§3). [`Terminal`] is that proxy: it speaks the DSP request
-//! API on one side and APDUs on the other, never sees any key or plaintext
-//! beyond what the card delivers, and exposes to applications a simple
-//! "evaluate this document for my user (optionally under this query)" call
-//! returning the authorized XML view.
+//! API on one side and APDUs on the other, and never sees any key or
+//! plaintext beyond what the card delivers. Pull-mode evaluation goes through
+//! [`Terminal::connect_shared`] and the stepped [`crate::CardSession`]
+//! against the shared `DspService` (the only serving path of the workspace);
+//! push-mode items are evaluated in place with [`Terminal::evaluate_local`].
+//! Applications normally reach this type through the top-level `sdds::Client`
+//! facade rather than directly.
 
 use sdds_card::apdu::{fragment_payload, ins, Apdu};
 use sdds_card::{CardProfile, CardRuntime, CostLedger, CostModel, LatencyBreakdown};
@@ -17,10 +20,10 @@ use sdds_core::secdoc::SecureDocument;
 use sdds_core::session::{KeyProvisioning, TrustedServer};
 use sdds_core::CoreError;
 use sdds_crypto::SecretKey;
-use sdds_dsp::DspServer;
 
 /// Errors surfaced by the proxy to applications.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ProxyError {
     /// The card refused a command or a budget was exceeded.
     Card(sdds_card::CardError),
@@ -160,41 +163,6 @@ impl Terminal {
         Ok(())
     }
 
-    /// Evaluates a document stored at `dsp`: pull-mode flow of Figure 1.
-    /// Returns the authorized XML view.
-    pub fn evaluate_from_dsp(
-        &mut self,
-        dsp: &mut DspServer,
-        doc_id: &str,
-    ) -> Result<String, ProxyError> {
-        let header = dsp.fetch_header(doc_id)?;
-        let policy = u8::from(self.open_policy);
-        self.runtime.exchange_expect_ok(&Apdu::new(
-            ins::OPEN_SESSION,
-            0,
-            policy,
-            header.encode(),
-        )?)?;
-        loop {
-            let next = self
-                .runtime
-                .exchange_expect_ok(&Apdu::simple(ins::NEXT_REQUEST, 0, 0))?;
-            if next.len() != 4 {
-                return Err(ProxyError::Protocol("bad NEXT_REQUEST response".into()));
-            }
-            let index = u32::from_le_bytes(next[..4].try_into().expect("4 bytes"));
-            if index == u32::MAX {
-                break;
-            }
-            let (chunk, proof) = dsp.fetch_chunk(doc_id, index)?;
-            self.push_chunk(index, &chunk, &proof.encode())?;
-        }
-        let view = self.collect_output()?;
-        self.runtime
-            .exchange_expect_ok(&Apdu::simple(ins::CLOSE_SESSION, 0, 0))?;
-        Ok(view)
-    }
-
     /// Evaluates a locally available secure document (push-mode: the item was
     /// broadcast to the terminal, e.g. by a dissemination channel).
     pub fn evaluate_local(&mut self, document: &SecureDocument) -> Result<String, ProxyError> {
@@ -294,8 +262,10 @@ mod tests {
     use sdds_core::conflict::AccessPolicy;
     use sdds_core::rule::RuleSet;
     use sdds_core::secdoc::SecureDocumentBuilder;
+    use sdds_dsp::DspService;
     use sdds_xml::generator::{self, GeneratorConfig, HospitalProfile};
     use sdds_xml::writer;
+    use std::sync::Arc;
 
     fn rules() -> RuleSet {
         RuleSet::parse(
@@ -304,7 +274,7 @@ mod tests {
         .unwrap()
     }
 
-    fn setup() -> (TrustedServer, DspServer, sdds_xml::Document) {
+    fn setup() -> (TrustedServer, Arc<DspService>, sdds_xml::Document) {
         let server = TrustedServer::new(b"hospital-2005", rules());
         let doc = generator::hospital(
             &HospitalProfile {
@@ -314,30 +284,57 @@ mod tests {
             &GeneratorConfig::default(),
         );
         let secure = SecureDocumentBuilder::new("folder", server.document_key()).build(&doc);
-        let mut dsp = DspServer::new();
-        dsp.store_mut().put_document(secure);
-        (server, dsp, doc)
+        let service = DspService::new(1);
+        service.put_document(secure);
+        for subject in ["doctor", "secretary"] {
+            service
+                .put_rules(
+                    "folder",
+                    subject,
+                    &server.protected_rules_for(&Subject::new(subject)),
+                )
+                .unwrap();
+        }
+        (server, Arc::new(service), doc)
+    }
+
+    fn keyed_terminal(server: &TrustedServer, pki: &SimulatedPki, subject: &str) -> Terminal {
+        use sdds_core::engine::{DEFAULT_DOC_KEY_ID, RULES_KEY_ID};
+        let subj = Subject::new(subject);
+        let mut terminal = Terminal::issue_card(
+            subject,
+            pki.card_transport_key(&subj),
+            CardProfile::modern_secure_element(),
+        );
+        terminal
+            .install_key(&server.provision_document_key(&subj, DEFAULT_DOC_KEY_ID))
+            .unwrap();
+        terminal
+            .install_key(&server.provision_rules_key(&subj, RULES_KEY_ID))
+            .unwrap();
+        terminal
     }
 
     #[test]
     fn full_pull_flow_matches_the_oracle() {
-        let (server, mut dsp, doc) = setup();
+        let (server, service, doc) = setup();
         let pki = SimulatedPki::new(b"hospital-2005");
-        let subject = Subject::new("doctor");
-        let mut terminal = Terminal::issue_card(
-            "doctor",
-            pki.card_transport_key(&subject),
-            CardProfile::modern_secure_element(),
+        let terminal = keyed_terminal(&server, &pki, "doctor");
+        let mut session = terminal.connect_shared(Arc::clone(&service), "folder");
+        let view = session.run().unwrap().to_owned();
+        let expected = authorized_view_oracle(
+            &doc,
+            &rules(),
+            &Subject::new("doctor"),
+            None,
+            &AccessPolicy::paper(),
         );
-        terminal.provision_from(&server).unwrap();
-        let view = terminal.evaluate_from_dsp(&mut dsp, "folder").unwrap();
-        let expected =
-            authorized_view_oracle(&doc, &rules(), &subject, None, &AccessPolicy::paper());
         assert_eq!(view, writer::to_string(&expected));
         assert!(view.contains("<patient"));
         assert!(!view.contains("<ssn>"));
         // Both sides accounted the traffic.
-        assert!(dsp.stats().chunks_served > 0);
+        assert!(service.stats().chunks_served > 0);
+        let terminal = session.terminal();
         assert!(terminal.card_ledger().channel.apdu_exchanges > 5);
         assert!(terminal.card_peak_ram() <= CardProfile::modern_secure_element().ram_bytes);
         let latency = terminal.latency(&CostModel::egate());
@@ -346,39 +343,39 @@ mod tests {
 
     #[test]
     fn query_through_the_proxy() {
-        let (server, mut dsp, _) = setup();
+        let (server, service, _) = setup();
         let pki = SimulatedPki::new(b"hospital-2005");
-        let subject = Subject::new("doctor");
-        let mut terminal = Terminal::issue_card(
-            "doctor",
-            pki.card_transport_key(&subject),
-            CardProfile::modern_secure_element(),
-        );
-        terminal.provision_from(&server).unwrap();
+        let mut terminal = keyed_terminal(&server, &pki, "doctor");
         terminal.set_query("//patient/name").unwrap();
-        let view = terminal.evaluate_from_dsp(&mut dsp, "folder").unwrap();
+        let view = terminal
+            .connect_shared(service, "folder")
+            .run_to_completion()
+            .unwrap();
         assert!(view.contains("<name>"));
         assert!(!view.contains("<report>"));
     }
 
     #[test]
     fn unprovisioned_terminal_cannot_evaluate() {
-        let (_, mut dsp, _) = setup();
+        let (_, service, _) = setup();
         let pki = SimulatedPki::new(b"hospital-2005");
         let subject = Subject::new("doctor");
-        let mut terminal = Terminal::issue_card(
+        // No keys installed at all: the card refuses the rules it is offered.
+        let terminal = Terminal::issue_card(
             "doctor",
             pki.card_transport_key(&subject),
             CardProfile::modern_secure_element(),
         );
-        let result = terminal.evaluate_from_dsp(&mut dsp, "folder");
+        let result = terminal
+            .connect_shared(service, "folder")
+            .run_to_completion();
         assert!(result.is_err());
         assert!(format!("{}", result.unwrap_err()).contains("refused"));
     }
 
     #[test]
     fn wrong_community_card_cannot_open_the_document() {
-        let (server, mut dsp, _) = setup();
+        let (server, service, _) = setup();
         // A card personalised for another community: the provisioning messages
         // of this community do not verify on it.
         let foreign_pki = SimulatedPki::new(b"another-community");
@@ -389,28 +386,28 @@ mod tests {
             CardProfile::modern_secure_element(),
         );
         assert!(terminal.provision_from(&server).is_err());
-        assert!(terminal.evaluate_from_dsp(&mut dsp, "folder").is_err());
+        assert!(terminal
+            .connect_shared(service, "folder")
+            .run_to_completion()
+            .is_err());
     }
 
     #[test]
     fn skip_index_toggle_changes_cost_not_result() {
-        let (server, mut dsp, _) = setup();
+        let (server, service, _) = setup();
         let pki = SimulatedPki::new(b"hospital-2005");
-        let subject = Subject::new("secretary");
-        let run = |use_index: bool, dsp: &mut DspServer| {
-            let mut terminal = Terminal::issue_card(
-                "secretary",
-                pki.card_transport_key(&subject),
-                CardProfile::modern_secure_element(),
-            );
+        let run = |use_index: bool| {
+            let mut terminal = keyed_terminal(&server, &pki, "secretary");
             terminal.set_use_skip_index(use_index);
-            terminal.provision_from(&server).unwrap();
-            dsp.reset_stats();
-            let view = terminal.evaluate_from_dsp(dsp, "folder").unwrap();
-            (view, dsp.stats().bytes_served)
+            service.reset_stats();
+            let view = terminal
+                .connect_shared(Arc::clone(&service), "folder")
+                .run_to_completion()
+                .unwrap();
+            (view, service.stats().bytes_served)
         };
-        let (with_view, with_bytes) = run(true, &mut dsp);
-        let (without_view, without_bytes) = run(false, &mut dsp);
+        let (with_view, with_bytes) = run(true);
+        let (without_view, without_bytes) = run(false);
         assert_eq!(with_view, without_view);
         assert!(with_bytes <= without_bytes);
     }

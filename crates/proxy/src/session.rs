@@ -1,14 +1,17 @@
-//! Steppable pull session against the shared multi-client DSP service.
+//! Steppable pull session against the shared multi-client DSP service — the
+//! one pull-mode flow of the workspace.
 //!
-//! [`crate::proxy::Terminal::evaluate_from_dsp`] runs a whole pull session in
-//! one call, which is fine for one card but hostile to multiplexing: a
-//! scheduler cannot interleave K cards if each one insists on finishing its
-//! document first. [`CardSession`] is the same Figure-1 flow cut into
-//! scheduler-sized steps: each [`Schedulable::step`] serves at most `quantum`
-//! chunk requests, so the [`sdds_dsp::service::SessionScheduler`] can
-//! round-robin many cards over the shared, `Sync` [`DspService`].
+//! A whole pull session run in one blocking call is fine for one card but
+//! hostile to multiplexing: a scheduler cannot interleave K cards if each one
+//! insists on finishing its document first. [`CardSession`] is the Figure-1
+//! flow cut into scheduler-sized steps: each [`Schedulable::step`] serves at
+//! most `quantum` chunk requests, so the
+//! [`sdds_dsp::service::SessionScheduler`] can round-robin many cards over
+//! the shared, `Sync` [`DspService`] — and a single-user caller simply drives
+//! the same session to completion with [`CardSession::run`] (or lets the
+//! `sdds::Client` facade do it).
 //!
-//! Differences from the single-tenant path, both deliberate:
+//! Two deliberate design points:
 //!
 //! * the subject's protected rules are fetched **from the DSP** at session
 //!   start (the paper stores them there precisely so any terminal can serve
@@ -111,18 +114,25 @@ impl CardSession {
         breakdown.decryption + breakdown.integrity + breakdown.evaluation + self.batched.elapsed()
     }
 
-    /// Runs the session to completion in one call (no scheduler), returning
-    /// the view.
-    pub fn run_to_completion(mut self) -> Result<String, ProxyError> {
+    /// Runs the session to completion in place (no scheduler), returning the
+    /// view. The session — and through it the terminal with its cost ledger
+    /// and the batched-channel accounting — stays available afterwards.
+    pub fn run(&mut self) -> Result<&str, ProxyError> {
         loop {
-            match Schedulable::step(&mut self, usize::MAX) {
+            match Schedulable::step(self, usize::MAX) {
                 Ok(StepOutcome::Pending) => continue,
-                Ok(StepOutcome::Complete) => {
-                    return Ok(self.view.expect("complete session has a view"));
-                }
+                Ok(StepOutcome::Complete) => break,
                 Err(message) => return Err(ProxyError::Protocol(message)),
             }
         }
+        Ok(self.view.as_deref().expect("complete session has a view"))
+    }
+
+    /// Runs the session to completion in one call (no scheduler), consuming
+    /// it and returning the view.
+    pub fn run_to_completion(mut self) -> Result<String, ProxyError> {
+        self.run()?;
+        Ok(self.view.expect("complete session has a view"))
     }
 
     fn start(&mut self) -> Result<(), ProxyError> {

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by the streaming parser and the tree builder.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum XmlError {
     /// The input ended while an element was still open.
     UnexpectedEof {

@@ -1,7 +1,7 @@
 //! XPath fragment **XP{[],*,//}** used by SDDS access-control rules and queries.
 //!
 //! The paper (§2.2) restricts rule objects and queries to "a rather robust
-//! subset of XPath [...] consist[ing] of node tests, the child axis (/), the
+//! subset of XPath [...] consist\[ing\] of node tests, the child axis (/), the
 //! descendant axis (//), wildcards (*) and predicates or branches [...]".
 //! This crate provides:
 //!

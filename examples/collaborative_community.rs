@@ -1,13 +1,13 @@
-//! Demo application 1: collaborative work within a community (pull mode).
+//! Demo application 1: collaborative work within a community (pull mode),
+//! through the facade-based workspace of `sdds::apps::collab`.
 //!
 //! Run with: `cargo run --example collaborative_community`
 
-use sdds_card::CardProfile;
-use sdds_core::rule::{RuleSet, Sign};
-use sdds_proxy::apps::collab::CollaborativeWorkspace;
+use sdds::apps::collab::CollaborativeWorkspace;
+use sdds::{CardProfile, RuleSet, SddsError, Sign};
 use sdds_xml::generator::{self, CommunityProfile, GeneratorConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SddsError> {
     let document = generator::community(
         &CommunityProfile {
             members: 4,
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &document,
         rules,
         CardProfile::modern_secure_element(),
-    );
+    )?;
 
     println!("community members with rules: {:?}", workspace.members());
 
@@ -57,11 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "and the stored encrypted document is unchanged (revision {})",
         workspace
-            .dsp()
-            .store()
-            .get("team-workspace")
-            .unwrap()
-            .revision
+            .publisher()
+            .service()
+            .revision("team-workspace")
+            .expect("workspace is stored")
     );
 
     // Pull with a query: only the agenda of the community.

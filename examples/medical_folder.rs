@@ -5,42 +5,32 @@
 //!
 //! Run with: `cargo run --example medical_folder`
 
-use sdds_card::{CardProfile, CostModel};
-use sdds_core::rule::{RuleSet, Sign};
-use sdds_core::secdoc::SecureDocumentBuilder;
-use sdds_core::session::TrustedServer;
-use sdds_dsp::DspServer;
-use sdds_proxy::{SimulatedPki, Terminal};
+use sdds::{Client, CostModel, Publisher, RuleSet, SddsError, Sign};
 use sdds_xml::generator::{self, GeneratorConfig, HospitalProfile};
 
 fn view_of(
-    server: &TrustedServer,
-    pki: &SimulatedPki,
-    dsp: &mut DspServer,
+    publisher: &Publisher,
     subject: &str,
     query: Option<&str>,
-) -> Result<(String, usize), Box<dyn std::error::Error>> {
-    let mut terminal = Terminal::issue_card(
-        subject,
-        pki.card_transport_key(&sdds_core::rule::Subject::new(subject)),
-        CardProfile::modern_secure_element(),
-    );
-    terminal.provision_from(server)?;
+) -> Result<(String, usize), SddsError> {
+    let mut builder = Client::builder(subject);
     if let Some(q) = query {
-        terminal.set_query(q)?;
+        builder = builder.query(q);
     }
-    dsp.reset_stats();
-    let view = terminal.evaluate_from_dsp(dsp, "patient-folders")?;
-    let latency = terminal.latency(&CostModel::egate());
+    let client = builder.provision(publisher)?;
+    publisher.service().reset_stats();
+    let mut session = client.connect("patient-folders")?;
+    let view = session.run()?.to_owned();
+    let latency = session.terminal().latency(&CostModel::egate());
     println!(
         "  [{subject}] {} bytes served by the DSP, simulated e-gate latency: {}",
-        dsp.stats().bytes_served,
+        publisher.stats().bytes_served,
         latency.summary_ms()
     );
-    Ok((view, dsp.stats().bytes_served))
+    Ok((view, publisher.stats().bytes_served))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SddsError> {
     // Synthetic hospital folder (the real corpus of the paper is not public).
     let folder = generator::hospital(
         &HospitalProfile {
@@ -57,23 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          +, secretary, //patient/address\n\
          +, researcher, //diagnosis",
     )?;
-    let mut server = TrustedServer::new(b"hospital-2005", rules);
-    let pki = SimulatedPki::new(b"hospital-2005");
+    let mut publisher = Publisher::new(b"hospital-2005", rules);
 
-    let secure =
-        SecureDocumentBuilder::new("patient-folders", server.document_key()).build(&folder);
+    let receipt = publisher.publish("patient-folders", &folder)?;
     println!(
         "published patient folders: {} chunks, index overhead {} bytes",
-        secure.chunk_count(),
-        secure.encode_stats.index_bytes
+        receipt.chunks, receipt.index_bytes
     );
-    let mut dsp = DspServer::new();
-    dsp.store_mut().put_document(secure);
 
     println!("\n-- regular accesses --");
-    let (doctor_view, doctor_bytes) = view_of(&server, &pki, &mut dsp, "doctor", None)?;
-    let (secretary_view, secretary_bytes) = view_of(&server, &pki, &mut dsp, "secretary", None)?;
-    let (_, _) = view_of(&server, &pki, &mut dsp, "researcher", Some("//diagnosis"))?;
+    let (doctor_view, doctor_bytes) = view_of(&publisher, "doctor", None)?;
+    let (secretary_view, secretary_bytes) = view_of(&publisher, "secretary", None)?;
+    let (_, _) = view_of(&publisher, "researcher", Some("//diagnosis"))?;
     println!(
         "  doctor view: {} bytes / secretary view: {} bytes",
         doctor_view.len(),
@@ -87,17 +72,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Emergency exception: the on-call nurse gets temporary access to the
     // diagnosis of every patient. Only a new protected rule set is shipped.
     println!("\n-- emergency exception for the on-call nurse --");
-    server
-        .rules_mut()
-        .push(Sign::Permit, "nurse", "//patient/name")?;
-    server
-        .rules_mut()
-        .push(Sign::Permit, "nurse", "//diagnosis")?;
-    let (nurse_view, _) = view_of(&server, &pki, &mut dsp, "nurse", None)?;
+    publisher.grant("nurse", Sign::Permit, "//patient/name")?;
+    publisher.grant("nurse", Sign::Permit, "//diagnosis")?;
+    let (nurse_view, _) = view_of(&publisher, "nurse", None)?;
     println!(
         "  nurse now sees {} bytes; the encrypted folder at the DSP was not touched (revision {})",
         nurse_view.len(),
-        dsp.store().get("patient-folders").unwrap().revision
+        publisher
+            .service()
+            .revision("patient-folders")
+            .expect("folder is stored")
     );
     Ok(())
 }

@@ -1,17 +1,12 @@
 //! Quickstart: protect an XML document with user-specific rules, store it
-//! encrypted at an untrusted DSP, and read it back through a smart-card SOE.
+//! encrypted at an untrusted DSP, and read it back through a smart-card SOE —
+//! all through the two facade types, `sdds::Publisher` and `sdds::Client`.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use sdds_card::CardProfile;
-use sdds_core::rule::RuleSet;
-use sdds_core::secdoc::SecureDocumentBuilder;
-use sdds_core::session::TrustedServer;
-use sdds_dsp::DspServer;
-use sdds_proxy::{SimulatedPki, Terminal};
-use sdds_xml::Document;
+use sdds::{Client, Document, Publisher, RuleSet, SddsError};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SddsError> {
     // 1. A document the family wants to share safely.
     let document = Document::parse(
         r#"<family>
@@ -32,38 +27,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          -, teen, //budget",
     )?;
 
-    // 3. The trusted (family-owned) side: keys + rules. The PKI of the demo is
-    //    simulated: every family card shares a transport secret with it.
-    let server = TrustedServer::new(b"family-secret", rules);
-    let pki = SimulatedPki::new(b"family-secret");
-
-    // 4. Encrypt the document and publish it on the untrusted DSP.
-    let secure =
-        SecureDocumentBuilder::new("family-agenda", server.document_key()).build(&document);
+    // 3. The trusted (family-owned) side: keys, rules, PKI and the handle to
+    //    the untrusted DSP service, all wired by the publisher. Encrypt and
+    //    publish the document.
+    let publisher = Publisher::new(b"family-secret", rules);
+    let receipt = publisher.publish("family-agenda", &document)?;
     println!(
         "published `family-agenda`: {} encrypted chunks, {} bytes of skip index",
-        secure.chunk_count(),
-        secure.encode_stats.index_bytes
+        receipt.chunks, receipt.index_bytes
     );
-    let mut dsp = DspServer::new();
-    dsp.store_mut().put_document(secure);
 
-    // 5. Each user plugs their card into a terminal, gets provisioned, and
-    //    reads the document: access control runs *inside the card*.
-    for user in ["parent", "teen", "stranger"] {
-        let mut terminal = Terminal::issue_card(
-            user,
-            pki.card_transport_key(&sdds_core::rule::Subject::new(user)),
-            CardProfile::modern_secure_element(),
-        );
-        // A stranger's card is not provisioned for this community at all.
-        let view = if user == "stranger" {
-            String::from("(no access: the card holds neither the keys nor any rule)")
-        } else {
-            terminal.provision_from(&server)?;
-            terminal.evaluate_from_dsp(&mut dsp, "family-agenda")?
-        };
+    // 4. Each user gets a provisioned client (a personalised card in a
+    //    terminal) and reads the document: access control runs *inside the
+    //    card*, the DSP only ever serves ciphertext.
+    for user in ["parent", "teen"] {
+        let client = Client::builder(user).provision(&publisher)?;
+        let view = client.authorized_view("family-agenda")?;
         println!("\n=== view of `{user}` ===\n{view}");
     }
+
+    // A stranger's card is provisioned too (any card can ask), but no rule
+    // grants it anything: the SOE delivers an empty view.
+    let stranger = Client::builder("stranger").provision(&publisher)?;
+    assert!(stranger.authorized_view("family-agenda")?.is_empty());
+    println!("\n=== view of `stranger` ===\n(empty: no rule grants the stranger anything)");
+
+    // 5. Applications that want events as they decrypt use the incremental
+    //    stream instead of collecting one String.
+    let parent = Client::builder("parent").provision(&publisher)?;
+    let first_events: Vec<_> = parent
+        .open_stream("family-agenda")?
+        .take(3)
+        .collect::<Result<_, _>>()?;
+    println!("\nfirst 3 authorized events of `parent`: {first_events:?}");
     Ok(())
 }

@@ -1,18 +1,17 @@
 //! Demo application 2: selective dissemination of a stream over an unsecured
 //! channel (push mode), with parental control and channel subscriptions
-//! enforced inside each subscriber's smart card.
+//! enforced inside each subscriber's smart card — through the facade-based
+//! app of `sdds::apps::dissem`.
 //!
 //! Run with: `cargo run --example selective_dissemination`
 
 use std::time::Duration;
 
-use sdds_card::CardProfile;
-use sdds_core::conflict::AccessPolicy;
-use sdds_core::rule::RuleSet;
-use sdds_proxy::apps::dissem::DisseminationApp;
+use sdds::apps::dissem::DisseminationApp;
+use sdds::{AccessPolicy, CardProfile, RuleSet, SddsError};
 use sdds_xml::generator::{self, GeneratorConfig, StreamProfile};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SddsError> {
     // A broadcast stream of items (news, sports, finance, movies) carrying a
     // rating and an opaque payload.
     let stream = generator::stream(

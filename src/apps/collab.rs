@@ -6,16 +6,18 @@
 //! them; the sharing policy is user-specific and changes over time — which is
 //! exactly what static encryption schemes handle poorly (§1) and what the SOE
 //! approach makes cheap: a policy change is just a new protected rule set.
+//!
+//! The workspace is a thin scenario layer over the facade: one
+//! [`Publisher`] for the community, one [`Client`] per member access, and the
+//! shared sharded service underneath — the very same serving path the
+//! multi-client scheduler of E10 exercises.
 
 use sdds_card::{CardProfile, CostModel, LatencyBreakdown};
 use sdds_core::rule::{RuleSet, Sign, Subject};
-use sdds_core::secdoc::SecureDocumentBuilder;
-use sdds_core::session::TrustedServer;
-use sdds_dsp::DspServer;
 use sdds_xml::Document;
 
-use crate::pki::SimulatedPki;
-use crate::proxy::{ProxyError, Terminal};
+use crate::client::{Client, Publisher};
+use crate::error::SddsError;
 
 /// Per-member outcome of one access to the shared document.
 #[derive(Debug, Clone)]
@@ -24,97 +26,81 @@ pub struct MemberAccess {
     pub member: String,
     /// Authorized view delivered by the member's card.
     pub view: String,
-    /// Bytes served by the DSP for this access.
+    /// Bytes served by the DSP for this access (header, chunks, rule blob).
     pub bytes_from_dsp: usize,
     /// Simulated latency of the access on the e-gate cost model.
     pub latency: LatencyBreakdown,
 }
 
-/// A collaborative workspace: one community document, one trusted rule issuer,
-/// one DSP, one terminal per member.
+/// A collaborative workspace: one community document, one trusted rule
+/// issuer, one shared DSP service, one card per member.
 pub struct CollaborativeWorkspace {
-    community_secret: Vec<u8>,
-    server: TrustedServer,
-    dsp: DspServer,
+    publisher: Publisher,
     doc_id: String,
     card_profile: CardProfile,
 }
 
 impl CollaborativeWorkspace {
-    /// Creates a workspace: publishes `document` (encrypted) on a fresh DSP
-    /// under the community's document key and installs the initial policy.
+    /// Creates a workspace: publishes `document` (encrypted) on a fresh
+    /// service under the community's document key and installs the initial
+    /// policy.
     pub fn new(
         community_secret: &[u8],
         doc_id: &str,
         document: &Document,
         initial_rules: RuleSet,
         card_profile: CardProfile,
-    ) -> Self {
-        let server = TrustedServer::new(community_secret, initial_rules);
-        let secure = SecureDocumentBuilder::new(doc_id, server.document_key()).build(document);
-        let mut dsp = DspServer::new();
-        dsp.store_mut().put_document(secure);
-        CollaborativeWorkspace {
-            community_secret: community_secret.to_vec(),
-            server,
-            dsp,
+    ) -> Result<Self, SddsError> {
+        let publisher = Publisher::builder(community_secret)
+            .rules(initial_rules)
+            .build();
+        publisher.publish(doc_id, document)?;
+        Ok(CollaborativeWorkspace {
+            publisher,
             doc_id: doc_id.to_owned(),
             card_profile,
-        }
+        })
     }
 
-    /// The trusted rule issuer (to inspect or change the policy).
-    pub fn server(&self) -> &TrustedServer {
-        &self.server
-    }
-
-    /// The DSP (to inspect serving statistics).
-    pub fn dsp(&self) -> &DspServer {
-        &self.dsp
+    /// The community's publisher (policy, service handle, statistics).
+    pub fn publisher(&self) -> &Publisher {
+        &self.publisher
     }
 
     /// Members named in the current policy.
     pub fn members(&self) -> Vec<Subject> {
-        self.server.rules().subjects()
+        self.publisher.subjects()
     }
 
-    /// Changes the policy: adds a rule for `member`. Nothing happens to the
-    /// stored document — no re-encryption, no key redistribution.
-    pub fn grant(&mut self, member: &str, sign: Sign, object: &str) -> Result<(), ProxyError> {
-        self.server
-            .rules_mut()
-            .push(sign, member, object)
-            .map_err(ProxyError::Core)?;
-        Ok(())
+    /// Changes the policy: adds a rule for `member` and re-syncs the
+    /// protected blobs at the DSP. Nothing happens to the stored document —
+    /// no re-encryption, no key redistribution.
+    pub fn grant(&mut self, member: &str, sign: Sign, object: &str) -> Result<(), SddsError> {
+        self.publisher.grant(member, sign, object)
     }
 
-    /// Issues and provisions a terminal + card for `member`.
-    pub fn terminal_for(&self, member: &str) -> Result<Terminal, ProxyError> {
-        let pki = SimulatedPki::new(&self.community_secret);
-        let subject = Subject::new(member);
-        let mut terminal =
-            Terminal::issue_card(member, pki.card_transport_key(&subject), self.card_profile);
-        terminal.provision_from(&self.server)?;
-        Ok(terminal)
+    /// Provisions a facade client for `member`.
+    pub fn client_for(&self, member: &str) -> Result<Client, SddsError> {
+        Client::builder(member)
+            .card_profile(self.card_profile)
+            .provision(&self.publisher)
     }
 
     /// One member accesses the shared document (optionally through a query).
-    pub fn access(
-        &mut self,
-        member: &str,
-        query: Option<&str>,
-    ) -> Result<MemberAccess, ProxyError> {
-        let mut terminal = self.terminal_for(member)?;
+    pub fn access(&self, member: &str, query: Option<&str>) -> Result<MemberAccess, SddsError> {
+        let mut builder = Client::builder(member).card_profile(self.card_profile);
         if let Some(q) = query {
-            terminal.set_query(q)?;
+            builder = builder.query(q);
         }
-        self.dsp.reset_stats();
-        let view = terminal.evaluate_from_dsp(&mut self.dsp, &self.doc_id)?;
+        let client = builder.provision(&self.publisher)?;
+        self.publisher.service().reset_stats();
+        let mut session = client.connect(&self.doc_id)?;
+        let view = session.run()?.to_owned();
         Ok(MemberAccess {
             member: member.to_owned(),
             view,
-            bytes_from_dsp: self.dsp.stats().bytes_served,
-            latency: terminal.latency(&CostModel::egate()),
+            bytes_from_dsp: self.publisher.stats().bytes_served,
+            latency: session.terminal().latency(&CostModel::egate()),
         })
     }
 }
@@ -146,11 +132,12 @@ mod tests {
             rules,
             CardProfile::modern_secure_element(),
         )
+        .unwrap()
     }
 
     #[test]
     fn members_see_their_own_views() {
-        let mut ws = workspace();
+        let ws = workspace();
         assert_eq!(ws.members().len(), 2);
         let alice = ws.access("alice", None).unwrap();
         assert!(alice.view.contains("<project"));
@@ -171,7 +158,7 @@ mod tests {
     #[test]
     fn policy_changes_take_effect_without_touching_the_document() {
         let mut ws = workspace();
-        let stored_before = ws.dsp().store().stored_bytes();
+        let stored_before = ws.publisher().service().store().stored_bytes();
         let before = ws.access("bob", None).unwrap();
         assert!(!before.view.contains("<budget>"));
 
@@ -179,13 +166,16 @@ mod tests {
         let after = ws.access("bob", None).unwrap();
         assert!(after.view.contains("<budget>"));
         // The encrypted document at the DSP did not change at all.
-        assert_eq!(ws.dsp().store().stored_bytes(), stored_before);
-        assert_eq!(ws.dsp().store().get("team-doc").unwrap().revision, 0);
+        assert_eq!(
+            ws.publisher().service().store().stored_bytes(),
+            stored_before
+        );
+        assert_eq!(ws.publisher().service().revision("team-doc"), Some(0));
     }
 
     #[test]
     fn queries_restrict_member_views() {
-        let mut ws = workspace();
+        let ws = workspace();
         let access = ws.access("alice", Some("//member/name")).unwrap();
         assert!(access.view.contains("<name>"));
         assert!(!access.view.contains("<project"));

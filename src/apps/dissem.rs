@@ -6,6 +6,10 @@
 //! stream against that subscriber's rules (channel subscriptions, parental
 //! control on ratings) with a per-item latency that must stay compatible with
 //! the stream rate — experiment E6 measures exactly that.
+//!
+//! Push mode has no DSP in the loop, so subscriber cards are provisioned with
+//! their protected rules up front ([`crate::Client::terminal_with_rules`])
+//! and each broadcast item is evaluated locally on the card.
 
 use std::time::Duration;
 
@@ -14,12 +18,11 @@ use sdds_core::conflict::AccessPolicy;
 use sdds_core::engine::{evaluate_secure_document, EngineConfig};
 use sdds_core::evaluator::EvaluatorConfig;
 use sdds_core::rule::{RuleSet, Subject};
-use sdds_core::session::TrustedServer;
 use sdds_dsp::DisseminationChannel;
 use sdds_xml::Document;
 
-use crate::pki::SimulatedPki;
-use crate::proxy::{ProxyError, Terminal};
+use crate::client::{Client, Publisher};
+use crate::error::SddsError;
 
 /// Per-subscriber outcome of consuming the whole stream.
 #[derive(Debug, Clone)]
@@ -48,8 +51,7 @@ impl SubscriberReport {
 
 /// The dissemination application: one publisher, many subscribers.
 pub struct DisseminationApp {
-    community_secret: Vec<u8>,
-    server: TrustedServer,
+    publisher: Publisher,
     channel: DisseminationChannel,
     card_profile: CardProfile,
 }
@@ -62,12 +64,13 @@ impl DisseminationApp {
         subscriber_rules: RuleSet,
         card_profile: CardProfile,
     ) -> Self {
-        let server = TrustedServer::new(community_secret, subscriber_rules);
-        let mut channel = DisseminationChannel::new("broadcast", server.document_key());
+        let publisher = Publisher::builder(community_secret)
+            .rules(subscriber_rules)
+            .build();
+        let mut channel = DisseminationChannel::new("broadcast", publisher.server().document_key());
         channel.publish_all(stream_doc);
         DisseminationApp {
-            community_secret: community_secret.to_vec(),
-            server,
+            publisher,
             channel,
             card_profile,
         }
@@ -78,9 +81,14 @@ impl DisseminationApp {
         &self.channel
     }
 
+    /// The community publisher (policy and keys).
+    pub fn publisher(&self) -> &Publisher {
+        &self.publisher
+    }
+
     /// Subscribers named in the policy.
     pub fn subscribers(&self) -> Vec<Subject> {
-        self.server.rules().subjects()
+        self.publisher.subjects()
     }
 
     /// Runs the whole stream through the subscriber's card terminal (full
@@ -92,16 +100,12 @@ impl DisseminationApp {
         &self,
         subscriber: &str,
         policy: AccessPolicy,
-    ) -> Result<SubscriberReport, ProxyError> {
-        let pki = SimulatedPki::new(&self.community_secret);
-        let subject = Subject::new(subscriber);
-        let mut terminal = Terminal::issue_card(
-            subscriber,
-            pki.card_transport_key(&subject),
-            self.card_profile,
-        );
-        terminal.set_open_policy(policy == AccessPolicy::open());
-        terminal.provision_from(&self.server)?;
+    ) -> Result<SubscriberReport, SddsError> {
+        let client = Client::builder(subscriber)
+            .card_profile(self.card_profile)
+            .open_policy(policy == AccessPolicy::open())
+            .provision(&self.publisher)?;
+        let mut terminal = client.terminal_with_rules()?;
         let mut report = SubscriberReport {
             subscriber: subscriber.to_owned(),
             items_delivered: 0,
@@ -134,8 +138,8 @@ impl DisseminationApp {
         &self,
         subscriber: &str,
         policy: AccessPolicy,
-    ) -> Result<SubscriberReport, ProxyError> {
-        let rules = self.server.rules().clone();
+    ) -> Result<SubscriberReport, SddsError> {
+        let rules = self.publisher.rules().clone();
         let mut report = SubscriberReport {
             subscriber: subscriber.to_owned(),
             items_delivered: 0,
@@ -150,8 +154,7 @@ impl DisseminationApp {
                 EvaluatorConfig::new(rules.clone(), subscriber).with_policy(policy),
             );
             let (view, stats) =
-                evaluate_secure_document(&item.document, self.channel.key(), config)
-                    .map_err(ProxyError::Core)?;
+                evaluate_secure_document(&item.document, self.channel.key(), config)?;
             let latency = stats.ledger.breakdown(&model).total();
             report.total_latency += latency;
             report.max_item_latency = report.max_item_latency.max(latency);

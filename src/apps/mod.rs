@@ -1,0 +1,5 @@
+//! The two demonstration applications of the paper (§3), built entirely on
+//! the [`crate::Client`] / [`crate::Publisher`] facade.
+
+pub mod collab;
+pub mod dissem;

@@ -1,15 +1,11 @@
-//! End-to-end integration tests spanning every crate: publisher → DSP →
-//! terminal proxy → smart-card SOE → authorized view, compared against the
-//! tree-based oracle.
+//! End-to-end integration tests spanning every crate — publisher → sharded
+//! DSP service → terminal proxy → smart-card SOE → authorized view — driven
+//! entirely through the `sdds::Client` / `sdds::Publisher` facade and
+//! compared against the tree-based oracle.
 
-use sdds_card::{CardProfile, CostModel};
+use sdds::{AccessPolicy, CardProfile, Client, CostModel, Publisher, RuleSet, Sign, Subject};
 use sdds_core::baseline::{authorized_view_oracle, DomBaseline};
-use sdds_core::conflict::AccessPolicy;
-use sdds_core::rule::{RuleSet, Sign, Subject};
 use sdds_core::secdoc::SecureDocumentBuilder;
-use sdds_core::session::TrustedServer;
-use sdds_dsp::DspServer;
-use sdds_proxy::{SimulatedPki, Terminal};
 use sdds_xml::generator::{self, Corpus, GeneratorConfig};
 use sdds_xml::{writer, Document, Parser};
 
@@ -25,35 +21,20 @@ fn medical_rules() -> RuleSet {
     .unwrap()
 }
 
-fn publish(server: &TrustedServer, doc: &Document, doc_id: &str) -> DspServer {
-    let secure = SecureDocumentBuilder::new(doc_id, server.document_key()).build(doc);
-    let mut dsp = DspServer::new();
-    dsp.store_mut().put_document(secure);
-    dsp
-}
-
-fn terminal_for(server: &TrustedServer, community: &[u8], subject: &str) -> Terminal {
-    let pki = SimulatedPki::new(community);
-    let mut terminal = Terminal::issue_card(
-        subject,
-        pki.card_transport_key(&Subject::new(subject)),
-        CardProfile::modern_secure_element(),
-    );
-    terminal
-        .provision_from(server)
-        .expect("provisioning succeeds");
-    terminal
+fn publish(doc: &Document, doc_id: &str) -> Publisher {
+    let publisher = Publisher::new(b"hospital", medical_rules());
+    publisher.publish(doc_id, doc).unwrap();
+    publisher
 }
 
 #[test]
 fn every_subject_gets_exactly_the_oracle_view_through_the_full_stack() {
     let doc = Corpus::Hospital.generate(1_500, &GeneratorConfig::default());
-    let server = TrustedServer::new(b"hospital", medical_rules());
-    let mut dsp = publish(&server, &doc, "folders");
+    let publisher = publish(&doc, "folders");
 
     for subject in ["doctor", "secretary", "researcher", "outsider"] {
-        let mut terminal = terminal_for(&server, b"hospital", subject);
-        let view = terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+        let client = Client::builder(subject).provision(&publisher).unwrap();
+        let view = client.authorized_view("folders").unwrap();
         let oracle = authorized_view_oracle(
             &doc,
             &medical_rules(),
@@ -70,18 +51,26 @@ fn every_subject_gets_exactly_the_oracle_view_through_the_full_stack() {
         if !view.is_empty() {
             Parser::parse_all(&view).expect("authorized view is well-formed XML");
         }
+        // The incremental stream renders the very same bytes.
+        let streamed = client
+            .open_stream("folders")
+            .unwrap()
+            .collect_view()
+            .unwrap();
+        assert_eq!(streamed, view, "`{subject}` stream differs from card path");
     }
 }
 
 #[test]
 fn queries_compose_with_access_control_across_the_stack() {
     let doc = Corpus::Hospital.generate(1_000, &GeneratorConfig::default());
-    let server = TrustedServer::new(b"hospital", medical_rules());
-    let mut dsp = publish(&server, &doc, "folders");
+    let publisher = publish(&doc, "folders");
 
-    let mut terminal = terminal_for(&server, b"hospital", "doctor");
-    terminal.set_query("//patient/name").unwrap();
-    let view = terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+    let client = Client::builder("doctor")
+        .query("//patient/name")
+        .provision(&publisher)
+        .unwrap();
+    let view = client.authorized_view("folders").unwrap();
     assert!(view.contains("<name>"));
     assert!(!view.contains("<report>"));
     assert!(!view.contains("<ssn>"));
@@ -99,30 +88,26 @@ fn queries_compose_with_access_control_across_the_stack() {
 #[test]
 fn dynamic_policy_changes_need_no_reencryption_but_static_baseline_does() {
     let doc = Corpus::Hospital.generate(800, &GeneratorConfig::default());
-    let mut server = TrustedServer::new(b"hospital", medical_rules());
-    let mut dsp = publish(&server, &doc, "folders");
-    let stored_before = dsp.store().stored_bytes();
+    let mut publisher = publish(&doc, "folders");
+    let stored_before = publisher.service().store().stored_bytes();
 
     // Before the change the nurse sees nothing.
-    let mut nurse = terminal_for(&server, b"hospital", "nurse");
-    assert!(nurse
-        .evaluate_from_dsp(&mut dsp, "folders")
-        .unwrap()
-        .is_empty());
+    let nurse = Client::builder("nurse").provision(&publisher).unwrap();
+    assert!(nurse.authorized_view("folders").unwrap().is_empty());
 
-    // Grant the nurse access to names: only a new protected rule set travels.
-    server
-        .rules_mut()
-        .push(Sign::Permit, "nurse", "//patient/name")
+    // Grant the nurse access to names: only a new protected rule set travels
+    // (to the DSP), and the very same client sees it on its next pull.
+    publisher
+        .grant("nurse", Sign::Permit, "//patient/name")
         .unwrap();
-    let mut nurse = terminal_for(&server, b"hospital", "nurse");
-    let view = nurse.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+    let view = nurse.authorized_view("folders").unwrap();
     assert!(view.contains("<name>"));
     assert_eq!(
-        dsp.store().stored_bytes(),
+        publisher.service().store().stored_bytes(),
         stored_before,
         "no re-encryption happened"
     );
+    assert_eq!(publisher.service().revision("folders"), Some(0));
 
     // The static-encryption baseline pays for the same change.
     let mut scheme = sdds_core::baseline::StaticEncryptionScheme::build(
@@ -142,24 +127,28 @@ fn dynamic_policy_changes_need_no_reencryption_but_static_baseline_does() {
 #[test]
 fn dom_baseline_agrees_with_the_card_but_fetches_everything() {
     let doc = Corpus::Hospital.generate(1_000, &GeneratorConfig::default());
-    let server = TrustedServer::new(b"hospital", medical_rules());
     // 128-byte chunks so that the skip granularity is fine enough for the
     // comparison (see EXPERIMENTS.md, E2 chunk-size ablation).
-    let secure = SecureDocumentBuilder::new("folders", server.document_key())
+    let publisher = Publisher::builder(b"hospital")
+        .rules(medical_rules())
         .chunk_size(128)
-        .build(&doc);
-    let mut dsp = DspServer::new();
-    dsp.store_mut().put_document(secure.clone());
+        .build();
+    publisher.publish("folders", &doc).unwrap();
 
     // The researcher only reads diagnosis subtrees: most chunks are skippable.
-    let mut terminal = terminal_for(&server, b"hospital", "researcher");
-    dsp.reset_stats();
-    let card_view = terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
-    let card_chunks = dsp.stats().chunks_served;
+    let researcher = Client::builder("researcher").provision(&publisher).unwrap();
+    publisher.service().reset_stats();
+    let card_view = researcher.authorized_view("folders").unwrap();
+    let card_chunks = publisher.stats().chunks_served;
 
+    // The DOM baseline runs on the same encrypted bytes (the builder is
+    // deterministic for a given key, id and chunk size).
+    let secure = SecureDocumentBuilder::new("folders", publisher.server().document_key())
+        .chunk_size(128)
+        .build(&doc);
     let dom = DomBaseline::run(
         &secure,
-        &server.document_key(),
+        &publisher.server().document_key(),
         &medical_rules(),
         &Subject::new("researcher"),
         None,
@@ -181,13 +170,15 @@ fn dom_baseline_agrees_with_the_card_but_fetches_everything() {
 #[test]
 fn simulated_latency_reflects_the_egate_bottlenecks() {
     let doc = Corpus::Hospital.generate(600, &GeneratorConfig::default());
-    let server = TrustedServer::new(b"hospital", medical_rules());
-    let mut dsp = publish(&server, &doc, "folders");
-    let mut terminal = terminal_for(&server, b"hospital", "doctor");
-    terminal.evaluate_from_dsp(&mut dsp, "folders").unwrap();
+    let publisher = publish(&doc, "folders");
+    let client = Client::builder("doctor").provision(&publisher).unwrap();
+    let mut session = client.connect("folders").unwrap();
+    session.run().unwrap();
 
-    let egate = terminal.latency(&CostModel::egate());
-    let modern = terminal.latency(&CostModel::modern_secure_element());
+    let egate = session.terminal().latency(&CostModel::egate());
+    let modern = session
+        .terminal()
+        .latency(&CostModel::modern_secure_element());
     assert!(egate.total() > modern.total());
     // On the e-gate, the 2 KB/s channel dominates the breakdown.
     assert!(egate.transfer >= egate.evaluation);
@@ -199,10 +190,10 @@ fn all_generated_corpora_survive_the_full_pipeline() {
     for corpus in Corpus::all() {
         let doc = corpus.generate(600, &GeneratorConfig::default());
         let rules = RuleSet::parse("+, user, /*").unwrap();
-        let server = TrustedServer::new(b"generic", rules.clone());
-        let mut dsp = publish(&server, &doc, corpus.name());
-        let mut terminal = terminal_for(&server, b"generic", "user");
-        let view = terminal.evaluate_from_dsp(&mut dsp, corpus.name()).unwrap();
+        let publisher = Publisher::new(b"generic", rules);
+        publisher.publish(corpus.name(), &doc).unwrap();
+        let client = Client::builder("user").provision(&publisher).unwrap();
+        let view = client.authorized_view(corpus.name()).unwrap();
         // Full permission: the view re-parses and contains the same number of
         // elements as the original document.
         let view_events = Parser::parse_all(&view).unwrap();

@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use sdds::apps::dissem::DisseminationApp;
 use sdds_card::{CardProfile, CostModel};
 use sdds_core::conflict::AccessPolicy;
 use sdds_core::engine::{
@@ -15,7 +16,6 @@ use sdds_core::secdoc::SecureDocumentBuilder;
 use sdds_core::skipindex::encode::EncoderConfig;
 use sdds_core::CoreError;
 use sdds_crypto::SecretKey;
-use sdds_proxy::apps::dissem::DisseminationApp;
 use sdds_xml::generator::{self, Corpus, GeneratorConfig, StreamProfile};
 use sdds_xml::writer;
 
