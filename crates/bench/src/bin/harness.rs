@@ -517,6 +517,48 @@ fn e10_multi_client(report: &mut Report) {
             (ratio * 10.0).round() / 10.0,
         );
     }
+
+    // Hot-document scenario: every client hammers ONE document, so shard
+    // count alone buys nothing — the single copy queues on its home shard.
+    // Replication (`Publisher::builder().replicate(n)`) is the lever.
+    println!("\n  hot document: 256 clients, one folder, 16 shards");
+    println!(
+        "{:>10} {:>14} {:>12} {:>10} {:>10}",
+        "replicas", "events/s", "makespan", "p50 (ms)", "p99 (ms)"
+    );
+    let mut hot_rates: Vec<(usize, f64)> = Vec::new();
+    for replicas in [1usize, 16] {
+        let outcome = workloads::hot_document(workloads::HotDocumentConfig::new(256, 16, replicas));
+        let events_per_s = outcome.events_per_s();
+        println!(
+            "{:>10} {:>14.0} {:>10.1}ms {:>10.2} {:>10.2}",
+            replicas,
+            events_per_s,
+            outcome.makespan().as_secs_f64() * 1e3,
+            outcome.latency_percentile(0.50).as_secs_f64() * 1e3,
+            outcome.latency_percentile(0.99).as_secs_f64() * 1e3,
+        );
+        let prefix = format!("e10.hot.clients_256.replicas_{replicas}");
+        report.put(format!("{prefix}.events_per_s"), events_per_s.round());
+        report.put(
+            format!("{prefix}.p99_ms"),
+            (outcome.latency_percentile(0.99).as_secs_f64() * 1e3 * 100.0).round() / 100.0,
+        );
+        hot_rates.push((replicas, events_per_s));
+    }
+    let of = |replicas: usize| {
+        hot_rates
+            .iter()
+            .find(|(r, _)| *r == replicas)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let gain = if of(1) > 0.0 { of(16) / of(1) } else { 0.0 };
+    println!("  replication gain @256 clients, 16 copies vs 1: {gain:.1}x");
+    report.put(
+        "e10.hot.clients_256.replication_gain".to_owned(),
+        (gain * 10.0).round() / 10.0,
+    );
 }
 
 fn main() {

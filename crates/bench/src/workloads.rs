@@ -217,6 +217,45 @@ impl MultiClientOutcome {
     }
 }
 
+/// Runs prepared facade sessions through the scheduler and folds the
+/// deterministic outcome (shared by the per-client-folder and hot-document
+/// E10 scenarios). Serving statistics must have been reset beforehand so
+/// only the scheduled pulls are measured.
+fn run_sessions(
+    service: &std::sync::Arc<sdds_dsp::DspService>,
+    sessions: Vec<sdds::CardSession>,
+    workers: usize,
+    quantum: usize,
+) -> MultiClientOutcome {
+    let start = std::time::Instant::now();
+    let report = sdds::SessionScheduler::new(workers, quantum).run(sessions);
+    let wall = start.elapsed();
+    let failures = report.failures();
+    assert!(failures.is_empty(), "E10 sessions failed: {failures:?}");
+
+    let model = sdds_card::CardProfile::modern_secure_element().cost;
+    let mut total_events = 0usize;
+    let mut apdus_saved = 0usize;
+    let mut session_latencies: Vec<std::time::Duration> = report
+        .finished
+        .iter()
+        .map(|f| {
+            total_events += f.session.terminal().card_ledger().events_processed;
+            apdus_saved += f.session.batched_channel().apdus_saved();
+            f.session.simulated_latency(&model)
+        })
+        .collect();
+    session_latencies.sort();
+
+    MultiClientOutcome {
+        total_events,
+        busiest_shard: service.busiest_shard_time(),
+        session_latencies,
+        apdus_saved,
+        wall,
+    }
+}
+
 /// Runs the E10 multi-client workload **through the `sdds` facade**:
 /// `clients` cards, each pulling its own folder from one shared
 /// [`sdds_dsp::DspService`], multiplexed by the fair round-robin session
@@ -227,14 +266,15 @@ impl MultiClientOutcome {
 /// applications use), so the gated `e10.*` keys — including the 1-client /
 /// 1-shard sanity point — catch any serving overhead the facade introduces.
 pub fn multi_client(config: MultiClientConfig) -> MultiClientOutcome {
-    use sdds::{CardSession, Client, Publisher, SessionScheduler};
+    use sdds::{CardSession, Client, Publisher};
 
     const SUBJECTS: &[&str] = &["doctor", "secretary", "researcher"];
     let publisher = Publisher::builder(b"sdds-bench-e10")
         .rules(medical_rules())
         .shards(config.shards)
         .chunk_size(256)
-        .build();
+        .build()
+        .expect("the E10 publisher configuration is valid");
     let doc = Corpus::Hospital.generate(config.doc_elements, &GeneratorConfig::default());
     for i in 0..config.clients {
         publisher
@@ -262,33 +302,98 @@ pub fn multi_client(config: MultiClientConfig) -> MultiClientOutcome {
         })
         .collect();
 
-    let profile = sdds_card::CardProfile::modern_secure_element();
-    let service = std::sync::Arc::clone(publisher.service());
-    let start = std::time::Instant::now();
-    let report = SessionScheduler::new(config.workers, config.quantum).run(sessions);
-    let wall = start.elapsed();
-    let failures = report.failures();
-    assert!(failures.is_empty(), "E10 sessions failed: {failures:?}");
+    run_sessions(
+        publisher.service(),
+        sessions,
+        config.workers,
+        config.quantum,
+    )
+}
 
-    let model = profile.cost;
-    let mut total_events = 0usize;
-    let mut apdus_saved = 0usize;
-    let mut session_latencies: Vec<std::time::Duration> = report
-        .finished
-        .iter()
-        .map(|f| {
-            total_events += f.session.terminal().card_ledger().events_processed;
-            apdus_saved += f.session.batched_channel().apdus_saved();
-            f.session.simulated_latency(&model)
+/// Configuration of one E10 **hot-document** run: every client pulls the
+/// same single document.
+#[derive(Debug, Clone, Copy)]
+pub struct HotDocumentConfig {
+    /// Concurrent card clients, all pulling the one hot document.
+    pub clients: usize,
+    /// Shards of the DSP service store.
+    pub shards: usize,
+    /// Serving copies the hot document is pinned to (`1` = the single-copy
+    /// baseline: everything queues on the home shard).
+    pub replicas: usize,
+    /// Scheduler worker threads (keep constant across compared runs).
+    pub workers: usize,
+    /// Chunk requests served per scheduler step.
+    pub quantum: usize,
+    /// Elements of the hot hospital document.
+    pub doc_elements: usize,
+}
+
+impl HotDocumentConfig {
+    /// The E10 hot-document defaults: 4 workers, quantum 8, one folder big
+    /// enough (~18 chunks at 256-byte chunks) that chunk-index routing can
+    /// spread its serving over every replica.
+    pub fn new(clients: usize, shards: usize, replicas: usize) -> Self {
+        HotDocumentConfig {
+            clients,
+            shards,
+            replicas,
+            workers: 4,
+            quantum: 8,
+            doc_elements: 160,
+        }
+    }
+}
+
+/// Runs the E10 hot-document scenario: `clients` cards all hammer **one**
+/// document on a sharded service. With `replicas = 1` every request queues
+/// on the document's home shard however many shards exist — the scenario the
+/// ROADMAP's "hot-document replication" lever exists for; with `replicas >
+/// 1` the publisher pins the document (`Publisher::builder().replicate(n)`)
+/// and reads spread deterministically over the copies (chunk index / subject
+/// hash picks the copy), so the outcome is byte-deterministic on the
+/// simulated clock like every other E10 metric.
+pub fn hot_document(config: HotDocumentConfig) -> MultiClientOutcome {
+    use sdds::{CardSession, Client, Publisher};
+
+    const SUBJECTS: &[&str] = &["doctor", "secretary", "researcher"];
+    let mut builder = Publisher::builder(b"sdds-bench-e10-hot")
+        .rules(medical_rules())
+        .shards(config.shards)
+        .chunk_size(256);
+    if config.replicas > 1 {
+        builder = builder.replicate(config.replicas);
+    }
+    let publisher = builder
+        .build()
+        .expect("the E10 hot-document publisher configuration is valid");
+    let doc = Corpus::Hospital.generate(config.doc_elements, &GeneratorConfig::default());
+    publisher
+        .publish("hot-folder", &doc)
+        .expect("publishing the hot folder");
+
+    let clients: Vec<Client> = (0..config.clients)
+        .map(|i| {
+            Client::builder(SUBJECTS[i % SUBJECTS.len()])
+                .provision(&publisher)
+                .expect("provisioning the client")
         })
         .collect();
-    session_latencies.sort();
+    publisher.service().reset_stats();
 
-    MultiClientOutcome {
-        total_events,
-        busiest_shard: service.busiest_shard_time(),
-        session_latencies,
-        apdus_saved,
-        wall,
-    }
+    let sessions: Vec<CardSession> = clients
+        .iter()
+        .map(|client| {
+            client
+                .connect("hot-folder")
+                .expect("connecting the session")
+        })
+        .collect();
+
+    run_sessions(
+        publisher.service(),
+        sessions,
+        config.workers,
+        config.quantum,
+    )
 }

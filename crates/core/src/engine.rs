@@ -562,7 +562,10 @@ impl AccessControlApplet {
             CoreError::Card(CardError::RamExceeded { .. })
             | CoreError::Card(CardError::EepromExceeded { .. }) => StatusWord::MEMORY_FAILURE,
             CoreError::Card(_) => StatusWord::CONDITIONS_NOT_SATISFIED,
-            CoreError::BadState { .. } => StatusWord::CONDITIONS_NOT_SATISFIED,
+            CoreError::BadState { .. }
+            | CoreError::NotFound { .. }
+            | CoreError::NoRulesForSubject { .. }
+            | CoreError::StaleRevision { .. } => StatusWord::CONDITIONS_NOT_SATISFIED,
             CoreError::BadDocument { .. } | CoreError::Xml(_) => StatusWord::WRONG_LENGTH,
             CoreError::UnsupportedRule { .. } | CoreError::Parse(_) => StatusWord::NOT_FOUND,
         }

@@ -26,9 +26,9 @@ pub mod service;
 pub mod store;
 
 pub use dissemination::{DisseminationChannel, StreamItem};
-pub use server::{DspServer, ServerStats};
+pub use server::{AtomicServerStats, DspServer, ServerStats};
 pub use service::{
-    DspService, FanOutDisseminator, Schedulable, ScheduleReport, ServiceModel, SessionScheduler,
-    ShardedStore, StepOutcome,
+    DspService, FanOutDisseminator, HotPolicy, Schedulable, ScheduleReport, ServiceModel,
+    SessionScheduler, ShardedStore, StepOutcome,
 };
 pub use store::{DocumentRecord, DspStore};

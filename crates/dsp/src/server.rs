@@ -12,6 +12,8 @@
 //! service — it cannot drift from the sharded path because it *is* the sharded
 //! path.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;
 use sdds_core::CoreError;
@@ -69,6 +71,69 @@ impl ServerStats {
         self.chunks_served += other.chunks_served;
         self.rule_blobs_served += other.rule_blobs_served;
         self.rule_bytes_served += other.rule_bytes_served;
+    }
+}
+
+/// The live, shared form of [`ServerStats`]: one relaxed atomic per counter.
+///
+/// Serving counters are the only thing a DSP read mutates, so keeping them in
+/// atomics is what lets every `fetch_*` run under a shard's **read** lock —
+/// same-shard readers proceed concurrently, and only writes (`put_document`,
+/// rule-blob sync, stats reset) take the write lock. Relaxed ordering is
+/// enough: the counters are independent monotonic tallies, never used to
+/// synchronise other memory, and [`AtomicServerStats::snapshot`] is read
+/// either under the shard's write lock (reset) or after the traffic of
+/// interest quiesced (reporting).
+#[derive(Debug, Default)]
+pub struct AtomicServerStats {
+    requests: AtomicUsize,
+    bytes_served: AtomicUsize,
+    chunks_served: AtomicUsize,
+    rule_blobs_served: AtomicUsize,
+    rule_bytes_served: AtomicUsize,
+}
+
+impl AtomicServerStats {
+    /// Records one served document header of `bytes` payload.
+    pub fn record_header(&self, bytes: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one served chunk (ciphertext + proof) of `bytes` payload.
+    pub fn record_chunk(&self, bytes: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+        self.chunks_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one served protected rule blob of `bytes` payload.
+    pub fn record_rules(&self, bytes: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+        self.rule_blobs_served.fetch_add(1, Ordering::Relaxed);
+        self.rule_bytes_served.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            chunks_served: self.chunks_served.load(Ordering::Relaxed),
+            rule_blobs_served: self.rule_blobs_served.load(Ordering::Relaxed),
+            rule_bytes_served: self.rule_bytes_served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter (call under the owning shard's write lock so no
+    /// concurrent serve is torn across the reset).
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.bytes_served.store(0, Ordering::Relaxed);
+        self.chunks_served.store(0, Ordering::Relaxed);
+        self.rule_blobs_served.store(0, Ordering::Relaxed);
+        self.rule_bytes_served.store(0, Ordering::Relaxed);
     }
 }
 
@@ -264,6 +329,21 @@ mod tests {
         let before = merged;
         merged.merge(&ServerStats::default());
         assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn atomic_stats_snapshot_matches_plain_recording() {
+        let atomic = AtomicServerStats::default();
+        let mut plain = ServerStats::default();
+        atomic.record_header(10);
+        plain.record_header(10);
+        atomic.record_chunk(100);
+        plain.record_chunk(100);
+        atomic.record_rules(30);
+        plain.record_rules(30);
+        assert_eq!(atomic.snapshot(), plain);
+        atomic.reset();
+        assert_eq!(atomic.snapshot(), ServerStats::default());
     }
 
     #[test]

@@ -35,7 +35,13 @@
 //! * **shard count** — the server-side concurrency of E10 (aggregate
 //!   throughput at 1 vs 16 shards); it has no analogue in the paper, which
 //!   measured a single card, but is what "millions of users" requires of the
-//!   DSP side of Figure 1.
+//!   DSP side of Figure 1. Serving takes the shard's **read** lock (the
+//!   counters are atomics), so same-shard readers do not serialize either.
+//! * **hot-document replication** — the E10 hot-document scenario (256
+//!   clients, one document): a pinned ([`DspService::pin_replicas`], or the
+//!   facade's `Publisher::builder().replicate(n)`) or threshold-hot
+//!   ([`HotPolicy`]) document is served from clones on several shards, with
+//!   revision-tagged invalidation on republish (see [`shard`]).
 //! * **scheduler workers / quantum** — the terminal-side multiplexing of E5
 //!   run K-wide; the quantum bounds how long one card can monopolise the
 //!   service between turns of the others (fair round-robin per card).
@@ -62,7 +68,7 @@ pub mod shard;
 
 pub use fanout::{FanOutDisseminator, SubscriberId};
 pub use scheduler::{FinishedSession, Schedulable, ScheduleReport, SessionScheduler, StepOutcome};
-pub use shard::ShardedStore;
+pub use shard::{HotPolicy, ShardedStore};
 
 use std::time::Duration;
 
@@ -125,7 +131,8 @@ pub struct DspService {
 }
 
 impl DspService {
-    /// Creates a service with `shards` shards and the LAN service model.
+    /// Creates a service with `shards` shards and the LAN service model
+    /// (`0` shards clamps to 1 — see [`ShardedStore::new`]).
     pub fn new(shards: usize) -> Self {
         DspService {
             store: ShardedStore::new(shards),
@@ -136,6 +143,13 @@ impl DspService {
     /// Replaces the service-time model.
     pub fn with_model(mut self, model: ServiceModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Enables threshold-driven hot-document replication (see
+    /// [`ShardedStore::with_hot_policy`]).
+    pub fn with_hot_policy(mut self, policy: HotPolicy) -> Self {
+        self.store = self.store.with_hot_policy(policy);
         self
     }
 
@@ -176,9 +190,27 @@ impl DspService {
         self.store.put_rules(doc_id, subject, rules)
     }
 
+    /// Pins `doc_id` to `copies` serving shards (see
+    /// [`ShardedStore::pin_replicas`]).
+    pub fn pin_replicas(&self, doc_id: &str, copies: usize) -> Result<(), CoreError> {
+        self.store.pin_replicas(doc_id, copies)
+    }
+
+    /// Shards currently serving `doc_id`, home shard first (see
+    /// [`ShardedStore::replica_shards`]).
+    pub fn replica_shards(&self, doc_id: &str) -> Vec<usize> {
+        self.store.replica_shards(doc_id)
+    }
+
     /// Fetches a document header.
     pub fn fetch_header(&self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
         self.store.fetch_header(doc_id)
+    }
+
+    /// Fetches a document header together with the upload revision to pin a
+    /// session to (see [`ShardedStore::fetch_header_pinned`]).
+    pub fn fetch_header_pinned(&self, doc_id: &str) -> Result<(DocumentHeader, u64), CoreError> {
+        self.store.fetch_header_pinned(doc_id)
     }
 
     /// Fetches one encrypted chunk and its Merkle proof.
@@ -190,9 +222,32 @@ impl DspService {
         self.store.fetch_chunk(doc_id, index)
     }
 
+    /// Fetches one encrypted chunk at a pinned revision, failing with
+    /// [`CoreError::StaleRevision`] after a mid-session republish.
+    pub fn fetch_chunk_pinned(
+        &self,
+        doc_id: &str,
+        index: u32,
+        revision: u64,
+    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+        self.store.fetch_chunk_pinned(doc_id, index, revision)
+    }
+
     /// Fetches the protected rule blob of `subject` for `doc_id`.
     pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
         self.store.fetch_rules(doc_id, subject)
+    }
+
+    /// Fetches the protected rule blob of `subject` at a pinned revision,
+    /// failing with [`CoreError::StaleRevision`] after a mid-session
+    /// republish.
+    pub fn fetch_rules_pinned(
+        &self,
+        doc_id: &str,
+        subject: &str,
+        revision: u64,
+    ) -> Result<Vec<u8>, CoreError> {
+        self.store.fetch_rules_pinned(doc_id, subject, revision)
     }
 
     /// Upload revision of a stored document (`None` if unknown).

@@ -1,22 +1,46 @@
-//! FNV-sharded, concurrently accessible document store.
+//! FNV-sharded, concurrently accessible document store with hot-document
+//! replication.
 //!
 //! The single-tenant [`DspStore`] sits behind one `&mut self` API: every
 //! request of every client serializes on the same structure, which is exactly
 //! the bottleneck the E10 experiment measures. [`ShardedStore`] splits the
 //! document space over `N` shards keyed by the FNV-1a hash of the document id;
-//! each shard holds its own [`DspStore`] and its own [`ServerStats`] behind
-//! its own `RwLock`, so requests for documents on different shards proceed
-//! concurrently and only same-shard requests queue on one another.
+//! each shard holds its own [`DspStore`] and its own [`AtomicServerStats`]
+//! behind its own `RwLock`, so requests for documents on different shards
+//! proceed concurrently.
 //!
-//! Serving mutates the per-shard statistics, so every request takes its
-//! shard's *write* lock — the lock models the serial capacity of one shard,
-//! which is what the service-time model of [`crate::service::ServiceModel`]
-//! charges. Global statistics are obtained by merging the per-shard counters
-//! on read ([`ShardedStore::stats`]), using the same [`ServerStats::merge`]
-//! the single-tenant server tests pin.
+//! **Serving takes the shard's *read* lock.** The only state a serve mutates
+//! is its shard's statistics, and those are relaxed atomics
+//! ([`AtomicServerStats`]) — so same-shard readers proceed concurrently too,
+//! and only the write paths (`put_document`, rule-blob sync, replication,
+//! `reset_stats`) take the write lock. The DSP is a read-mostly content
+//! server: millions of card-holders pull, publishers rarely push.
+//!
+//! **Hot documents replicate.** A single document all clients hammer still
+//! queues on one shard's serial capacity, whatever the shard count. The store
+//! therefore keeps a replica directory: a document that is pinned
+//! ([`ShardedStore::pin_replicas`], reachable through the facade's
+//! `Publisher::builder().replicate(n)`) — or whose serve count crosses the
+//! [`HotPolicy`] threshold — gets read-only clones on further shards, and
+//! reads spread over the copies deterministically (chunk index / subject hash
+//! picks the copy, so per-shard accounting is interleaving independent).
+//! Republishing **invalidates the clones before the new revision lands** and
+//! re-replicates pinned documents afterwards, so a replica can never serve a
+//! revision its home shard has abandoned; a reader that raced the
+//! invalidation falls back to the home shard. On top of that, every fetch can
+//! carry a **pinned revision** (`fetch_*_pinned`): a mismatch — e.g. a
+//! republish in the middle of a card session — returns the typed
+//! [`CoreError::StaleRevision`] instead of letting chunks of the new upload
+//! fail Merkle verification against the old header.
+//!
+//! Global statistics are obtained by merging the per-shard counters on read
+//! ([`ShardedStore::stats`]), using the same [`ServerStats::merge`] the
+//! single-tenant server tests pin.
 
+use std::collections::HashMap;
 use std::hash::Hasher;
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;
@@ -24,35 +48,49 @@ use sdds_core::CoreError;
 use sdds_crypto::merkle::MerkleProof;
 use sdds_xml::symbols::Fnv1a;
 
-use crate::server::ServerStats;
-use crate::store::DspStore;
+use crate::server::{AtomicServerStats, ServerStats};
+use crate::store::{DocumentRecord, DspStore};
 
 // ---------------------------------------------------------------------------
 // The one serving path of the workspace: every header, chunk and rule blob —
 // whether requested through the sharded service or through the single-tenant
-// `DspServer` wrapper — is served and accounted by these helpers.
+// `DspServer` wrapper, from a home shard or a replica — is served and
+// accounted by these helpers.
 // ---------------------------------------------------------------------------
 
-/// Serves a document header out of `store`, accounting it on `stats`.
+/// Rejects a serve whose session pinned a revision the record no longer has.
+fn check_revision(record: &DocumentRecord, pinned: Option<u64>) -> Result<(), CoreError> {
+    match pinned {
+        Some(rev) if record.revision != rev => Err(CoreError::StaleRevision {
+            doc_id: record.document.header.doc_id.clone(),
+            pinned: rev,
+            current: record.revision,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Serves a document header out of `record`, accounting it on `stats`.
 fn serve_header(
-    store: &DspStore,
-    stats: &mut ServerStats,
-    doc_id: &str,
+    record: &DocumentRecord,
+    stats: &AtomicServerStats,
+    pinned: Option<u64>,
 ) -> Result<DocumentHeader, CoreError> {
-    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    check_revision(record, pinned)?;
     let header = record.document.header.clone();
     stats.record_header(header.encode().len());
     Ok(header)
 }
 
-/// Serves one encrypted chunk and its Merkle proof out of `store`.
+/// Serves one encrypted chunk and its Merkle proof out of `record`.
 fn serve_chunk(
-    store: &DspStore,
-    stats: &mut ServerStats,
-    doc_id: &str,
+    record: &DocumentRecord,
+    stats: &AtomicServerStats,
     index: u32,
+    pinned: Option<u64>,
 ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
-    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    check_revision(record, pinned)?;
+    let doc_id = &record.document.header.doc_id;
     let chunk = record
         .document
         .chunk(index as usize)
@@ -65,29 +103,24 @@ fn serve_chunk(
     Ok((chunk, proof))
 }
 
-/// Serves the protected rule blob of `subject` out of `store`.
+/// Serves the protected rule blob of `subject` out of `record`.
 fn serve_rules(
-    store: &DspStore,
-    stats: &mut ServerStats,
-    doc_id: &str,
+    record: &DocumentRecord,
+    stats: &AtomicServerStats,
     subject: &str,
+    pinned: Option<u64>,
 ) -> Result<Vec<u8>, CoreError> {
-    let record = store.get(doc_id).ok_or_else(|| missing(doc_id))?;
+    check_revision(record, pinned)?;
     let blob = record
         .rules
         .get(subject)
-        .ok_or_else(|| CoreError::BadState {
-            message: format!("no rules stored for subject `{subject}` on `{doc_id}`"),
+        .ok_or_else(|| CoreError::NoRulesForSubject {
+            doc_id: record.document.header.doc_id.clone(),
+            subject: subject.to_owned(),
         })?
         .clone();
     stats.record_rules(blob.len());
     Ok(blob)
-}
-
-fn missing(doc_id: &str) -> CoreError {
-    CoreError::BadState {
-        message: format!("document `{doc_id}` is not stored at this DSP"),
-    }
 }
 
 /// FNV-1a over the document id (the workspace's [`Fnv1a`] hasher) — stable
@@ -99,26 +132,88 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hasher.finish()
 }
 
-/// One shard: a plain store plus its serving counters.
+/// Replication policy for documents that become hot organically: once a
+/// document's serve count **reaches** `threshold` (clamped to at least 1),
+/// it is cloned so `replicas` shards serve it (clamped to the shard count).
+/// Disabled by default; see [`ShardedStore::with_hot_policy`]. Explicitly
+/// pinned documents ([`ShardedStore::pin_replicas`]) ignore the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotPolicy {
+    /// Serves (since upload) at which a document is considered hot (`0`
+    /// behaves like `1`: the first serve replicates).
+    pub threshold: usize,
+    /// Total shards that should serve a hot document (home copy included).
+    pub replicas: usize,
+}
+
+/// Replica directory entry of one document.
+#[derive(Debug)]
+struct ReplicaEntry {
+    /// Shards serving this document; `shards[0]` is the home shard, the rest
+    /// hold read-only clones. Clone staleness needs no revision bookkeeping
+    /// here: republishing physically removes the clones before the new
+    /// revision lands, and pinned fetches check the served record itself.
+    shards: Vec<usize>,
+    /// Replication degree requested by a publisher pin (`None`: threshold
+    /// driven only). Pinned documents re-replicate after every republish.
+    pinned: Option<usize>,
+    /// Serves since upload — drives the [`HotPolicy`] threshold.
+    serves: AtomicUsize,
+}
+
+/// One shard: a plain store, read-only clones of hot documents homed on
+/// *other* shards, and the serving counters. Clones of one document share
+/// one heap allocation (`Arc`) until a rule-blob sync diverges them.
 #[derive(Debug, Default)]
 struct Shard {
     store: DspStore,
-    stats: ServerStats,
+    replicas: HashMap<String, Arc<DocumentRecord>>,
+    stats: AtomicServerStats,
 }
 
-/// A document store sharded by FNV of the document id.
+/// A document store sharded by FNV of the document id, with optional
+/// hot-document replication (see the module docs).
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<RwLock<Shard>>,
+    /// Replica directory: which shards serve which document. Lock order is
+    /// always directory → shard, and serves drop the directory lock before
+    /// taking a shard lock, so the two levels cannot deadlock.
+    directory: RwLock<HashMap<String, ReplicaEntry>>,
+    /// Documents currently serving from more than one shard. The serve fast
+    /// path checks this before touching the directory lock, so a store with
+    /// no replication shares no routing state between shards at all.
+    replicated: AtomicUsize,
+    hot: Option<HotPolicy>,
 }
 
 impl ShardedStore {
-    /// Creates a store with `shards` shards (at least one).
+    /// Creates a store with `shards` shards. A count of `0` is **clamped to
+    /// 1** — a store with no shards cannot hold anything, so the degenerate
+    /// request silently becomes the single-tenant layout (the facade's
+    /// `Publisher::builder().shards(0)` rejects it at build time instead;
+    /// `zero_shards_clamps_to_one` pins the clamp).
     pub fn new(shards: usize) -> Self {
         let count = shards.max(1);
         ShardedStore {
             shards: (0..count).map(|_| RwLock::new(Shard::default())).collect(),
+            directory: RwLock::new(HashMap::new()),
+            replicated: AtomicUsize::new(0),
+            hot: None,
         }
+    }
+
+    /// Enables threshold-driven replication: once a document's serve count
+    /// since upload reaches `policy.threshold` (at least 1), it is cloned so
+    /// `policy.replicas` shards serve it.
+    pub fn with_hot_policy(mut self, policy: HotPolicy) -> Self {
+        self.hot = Some(policy);
+        self
+    }
+
+    /// The configured hot-document policy, if any.
+    pub fn hot_policy(&self) -> Option<HotPolicy> {
+        self.hot
     }
 
     /// Number of shards.
@@ -126,13 +221,205 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// Index of the shard owning `doc_id`.
+    /// Index of the home shard owning `doc_id`.
     pub fn shard_of(&self, doc_id: &str) -> usize {
         (fnv1a(doc_id.as_bytes()) % self.shards.len() as u64) as usize
     }
 
-    fn shard(&self, doc_id: &str) -> &RwLock<Shard> {
-        &self.shards[self.shard_of(doc_id)]
+    /// Shards currently serving `doc_id` (home first). A single-element
+    /// answer means the document is not replicated.
+    pub fn replica_shards(&self, doc_id: &str) -> Vec<usize> {
+        self.directory
+            .read()
+            .expect("replica directory poisoned")
+            .get(doc_id)
+            .map(|entry| entry.shards.clone())
+            .unwrap_or_else(|| vec![self.shard_of(doc_id)])
+    }
+
+    /// Picks the shard that serves this request: the home shard, unless the
+    /// document is replicated — then `salt` (chunk index, subject hash)
+    /// selects a copy, deterministically per request, so per-shard byte
+    /// accounting does not depend on thread interleaving.
+    fn route(&self, doc_id: &str, salt: u64) -> usize {
+        // Fast path: with nothing replicated anywhere, readers never touch
+        // the (global) directory lock — shards stay fully independent.
+        if self.replicated.load(Ordering::Relaxed) == 0 {
+            return self.shard_of(doc_id);
+        }
+        let directory = self.directory.read().expect("replica directory poisoned");
+        match directory.get(doc_id) {
+            Some(entry) if entry.shards.len() > 1 => {
+                entry.shards[(salt % entry.shards.len() as u64) as usize]
+            }
+            _ => self.shard_of(doc_id),
+        }
+    }
+
+    /// Serves one request under a shard **read** lock: routed to a replica
+    /// when the document is hot, falling back to the home shard when the
+    /// routed clone vanished (republish invalidation won the race).
+    fn serve<T>(
+        &self,
+        doc_id: &str,
+        salt: u64,
+        serve: impl Fn(&DocumentRecord, &AtomicServerStats) -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        let home = self.shard_of(doc_id);
+        let routed = self.route(doc_id, salt);
+        if routed != home {
+            let shard = self.shards[routed].read().expect("shard lock poisoned");
+            if let Some(record) = shard.replicas.get(doc_id) {
+                let served = serve(record.as_ref(), &shard.stats);
+                drop(shard);
+                self.note_serve(doc_id);
+                return served;
+            }
+        }
+        let shard = self.shards[home].read().expect("shard lock poisoned");
+        let record = shard.store.get(doc_id).ok_or_else(|| CoreError::NotFound {
+            doc_id: doc_id.to_owned(),
+        })?;
+        let served = serve(record, &shard.stats);
+        drop(shard);
+        self.note_serve(doc_id);
+        served
+    }
+
+    /// Counts one serve towards the hot threshold and replicates on the
+    /// exact crossing (the `fetch_add` ticket makes the trigger fire once).
+    fn note_serve(&self, doc_id: &str) {
+        let Some(policy) = self.hot else { return };
+        // A threshold of 0 means "replicate as eagerly as possible": the
+        // trigger fires on the exact crossing ticket, so the effective
+        // threshold is at least the first serve.
+        let threshold = policy.threshold.max(1);
+        let crossed = {
+            let directory = self.directory.read().expect("replica directory poisoned");
+            match directory.get(doc_id) {
+                Some(entry) => {
+                    let serves = entry.serves.fetch_add(1, Ordering::Relaxed) + 1;
+                    serves == threshold && entry.shards.len() == 1
+                }
+                None => {
+                    drop(directory);
+                    let mut directory = self.directory.write().expect("replica directory poisoned");
+                    let entry = directory.entry(doc_id.to_owned()).or_insert(ReplicaEntry {
+                        shards: vec![self.shard_of(doc_id)],
+                        pinned: None,
+                        serves: AtomicUsize::new(0),
+                    });
+                    let serves = entry.serves.fetch_add(1, Ordering::Relaxed) + 1;
+                    serves == threshold && entry.shards.len() == 1
+                }
+            }
+        };
+        if crossed {
+            let mut directory = self.directory.write().expect("replica directory poisoned");
+            // Re-validate under the write lock: between the crossing and
+            // here, a pin may have installed its own (authoritative) layout,
+            // or a republish may have reset the serve count — in either case
+            // the route is no longer this trigger's to change.
+            let still_eligible = directory.get(doc_id).is_some_and(|entry| {
+                entry.shards.len() == 1
+                    && entry.pinned.is_none()
+                    && entry.serves.load(Ordering::Relaxed) >= threshold
+            });
+            if still_eligible {
+                self.replicate_locked(&mut directory, doc_id, policy.replicas);
+            }
+        }
+    }
+
+    /// Clones `doc_id` so `copies` shards serve it (clamped to `[1,
+    /// shard_count]`), with the replica directory write lock held: one deep
+    /// clone of the home record, shared by every copy behind an `Arc`,
+    /// installed on the following shards (wrapping), then the new route is
+    /// published. No-op for unknown documents.
+    ///
+    /// Holding the directory lock across the installation is deliberate: it
+    /// serializes replication against republish invalidation, which is what
+    /// makes "a clone can never serve an abandoned revision" a lock-order
+    /// argument instead of a data race. Writes are rare on this read-mostly
+    /// server, and the held-lock work is one record clone plus `copies`
+    /// `Arc` clones.
+    fn replicate_locked(
+        &self,
+        directory: &mut HashMap<String, ReplicaEntry>,
+        doc_id: &str,
+        copies: usize,
+    ) {
+        let copies = copies.clamp(1, self.shards.len());
+        let home = self.shard_of(doc_id);
+        let record = {
+            let shard = self.shards[home].read().expect("shard lock poisoned");
+            match shard.store.get(doc_id) {
+                Some(record) => Arc::new(record.clone()),
+                None => return,
+            }
+        };
+        let mut shards = vec![home];
+        for offset in 1..copies {
+            let target = (home + offset) % self.shards.len();
+            self.shards[target]
+                .write()
+                .expect("shard lock poisoned")
+                .replicas
+                .insert(doc_id.to_owned(), Arc::clone(&record));
+            shards.push(target);
+        }
+        let entry = directory.entry(doc_id.to_owned()).or_insert(ReplicaEntry {
+            shards: vec![home],
+            pinned: None,
+            serves: AtomicUsize::new(0),
+        });
+        if entry.shards.len() <= 1 && shards.len() > 1 {
+            self.replicated.fetch_add(1, Ordering::Relaxed);
+        }
+        entry.shards = shards;
+    }
+
+    /// Removes every clone of `doc_id` and routes readers back to the home
+    /// shard, with the directory write lock held. Returns the pin degree so
+    /// a republish can re-replicate.
+    fn invalidate_locked(
+        &self,
+        directory: &mut HashMap<String, ReplicaEntry>,
+        doc_id: &str,
+    ) -> Option<usize> {
+        let entry = directory.get_mut(doc_id)?;
+        for &shard in entry.shards.iter().skip(1) {
+            self.shards[shard]
+                .write()
+                .expect("shard lock poisoned")
+                .replicas
+                .remove(doc_id);
+        }
+        if entry.shards.len() > 1 {
+            self.replicated.fetch_sub(1, Ordering::Relaxed);
+        }
+        entry.shards.truncate(1);
+        entry.serves.store(0, Ordering::Relaxed);
+        entry.pinned
+    }
+
+    /// Pins `doc_id` to `copies` serving shards (clamped to `[1,
+    /// shard_count]`): replicates immediately and re-replicates after every
+    /// republish. Fails with [`CoreError::NotFound`] for unknown documents.
+    pub fn pin_replicas(&self, doc_id: &str, copies: usize) -> Result<(), CoreError> {
+        if !self.contains(doc_id) {
+            return Err(CoreError::NotFound {
+                doc_id: doc_id.to_owned(),
+            });
+        }
+        let mut directory = self.directory.write().expect("replica directory poisoned");
+        self.invalidate_locked(&mut directory, doc_id);
+        self.replicate_locked(&mut directory, doc_id, copies);
+        directory
+            .get_mut(doc_id)
+            .expect("replicate_locked inserts the entry")
+            .pinned = Some(copies);
+        Ok(())
     }
 
     /// Uploads (or replaces) a document on its shard, keeping stored rule
@@ -143,59 +430,133 @@ impl ShardedStore {
 
     /// Uploads (or replaces) a document, choosing whether stored rule blobs
     /// survive the replacement (see [`DspStore::put_document_with`]).
+    ///
+    /// Replicas are invalidated **before** the new revision lands (readers
+    /// route back to the home shard for the duration), and pinned documents
+    /// re-replicate the new revision afterwards — so no clone ever serves a
+    /// revision the home shard has abandoned.
     pub fn put_document_with(&self, document: SecureDocument, clear_rules_on_replace: bool) {
-        let shard = self.shard(&document.header.doc_id);
-        shard
+        let doc_id = document.header.doc_id.clone();
+        let mut directory = self.directory.write().expect("replica directory poisoned");
+        let pinned = self.invalidate_locked(&mut directory, &doc_id);
+        self.shards[self.shard_of(&doc_id)]
             .write()
             .expect("shard lock poisoned")
             .store
             .put_document_with(document, clear_rules_on_replace);
+        if let Some(copies) = pinned {
+            self.replicate_locked(&mut directory, &doc_id, copies);
+            directory
+                .get_mut(&doc_id)
+                .expect("replicate_locked inserts the entry")
+                .pinned = Some(copies);
+        }
     }
 
-    /// Stores the protected rules of `subject` for `doc_id`.
+    /// Stores the protected rules of `subject` for `doc_id` — on the home
+    /// shard and on every replica, so a routed rule fetch cannot see a blob
+    /// older than the home shard's.
     pub fn put_rules(
         &self,
         doc_id: &str,
         subject: &str,
         rules: &ProtectedRules,
     ) -> Result<(), CoreError> {
-        self.shard(doc_id)
+        let directory = self.directory.read().expect("replica directory poisoned");
+        self.shards[self.shard_of(doc_id)]
             .write()
             .expect("shard lock poisoned")
             .store
-            .put_rules(doc_id, subject, rules)
+            .put_rules(doc_id, subject, rules)?;
+        if let Some(entry) = directory.get(doc_id) {
+            for &shard in entry.shards.iter().skip(1) {
+                if let Some(record) = self.shards[shard]
+                    .write()
+                    .expect("shard lock poisoned")
+                    .replicas
+                    .get_mut(doc_id)
+                {
+                    // Clones share one allocation until a sync diverges them;
+                    // `make_mut` copies-on-write for this shard only.
+                    Arc::make_mut(record)
+                        .rules
+                        .insert(subject.to_owned(), rules.encode());
+                }
+            }
+        }
+        Ok(())
     }
 
-    /// Fetches a document header (counted on the owning shard).
+    /// Fetches a document header (counted on the serving shard).
     pub fn fetch_header(&self, doc_id: &str) -> Result<DocumentHeader, CoreError> {
-        let mut shard = self.shard(doc_id).write().expect("shard lock poisoned");
-        let Shard { store, stats } = &mut *shard;
-        serve_header(store, stats, doc_id)
+        self.serve(doc_id, 0, |record, stats| serve_header(record, stats, None))
+    }
+
+    /// Fetches a document header together with the upload revision it
+    /// belongs to, for a session to pin: subsequent `fetch_*_pinned` calls
+    /// carrying this revision fail with [`CoreError::StaleRevision`] if the
+    /// document is republished mid-session.
+    pub fn fetch_header_pinned(&self, doc_id: &str) -> Result<(DocumentHeader, u64), CoreError> {
+        self.serve(doc_id, 0, |record, stats| {
+            serve_header(record, stats, None).map(|header| (header, record.revision))
+        })
     }
 
     /// Fetches one encrypted chunk and its Merkle proof.
+    ///
+    /// Replicated documents route chunk `i` to copy `(i + 1) % copies` — the
+    /// `+ 1` keeps the first chunk off the home copy, which already serves
+    /// every header request.
     pub fn fetch_chunk(
         &self,
         doc_id: &str,
         index: u32,
     ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
-        let mut shard = self.shard(doc_id).write().expect("shard lock poisoned");
-        let Shard { store, stats } = &mut *shard;
-        serve_chunk(store, stats, doc_id, index)
+        self.serve(doc_id, u64::from(index) + 1, |record, stats| {
+            serve_chunk(record, stats, index, None)
+        })
+    }
+
+    /// Like [`ShardedStore::fetch_chunk`], but fails with
+    /// [`CoreError::StaleRevision`] unless the serving record still has the
+    /// session's pinned `revision`.
+    pub fn fetch_chunk_pinned(
+        &self,
+        doc_id: &str,
+        index: u32,
+        revision: u64,
+    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+        self.serve(doc_id, u64::from(index) + 1, |record, stats| {
+            serve_chunk(record, stats, index, Some(revision))
+        })
     }
 
     /// Fetches the protected rule blob of `subject` for `doc_id`.
     pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
-        let mut shard = self.shard(doc_id).write().expect("shard lock poisoned");
-        let Shard { store, stats } = &mut *shard;
-        serve_rules(store, stats, doc_id, subject)
+        self.serve(doc_id, fnv1a(subject.as_bytes()), |record, stats| {
+            serve_rules(record, stats, subject, None)
+        })
+    }
+
+    /// Like [`ShardedStore::fetch_rules`], but fails with
+    /// [`CoreError::StaleRevision`] unless the serving record still has the
+    /// session's pinned `revision`.
+    pub fn fetch_rules_pinned(
+        &self,
+        doc_id: &str,
+        subject: &str,
+        revision: u64,
+    ) -> Result<Vec<u8>, CoreError> {
+        self.serve(doc_id, fnv1a(subject.as_bytes()), |record, stats| {
+            serve_rules(record, stats, subject, Some(revision))
+        })
     }
 
     /// Merged statistics of every shard.
     pub fn stats(&self) -> ServerStats {
         let mut merged = ServerStats::default();
         for shard in &self.shards {
-            merged.merge(&shard.read().expect("shard lock poisoned").stats);
+            merged.merge(&shard.read().expect("shard lock poisoned").stats.snapshot());
         }
         merged
     }
@@ -205,20 +566,20 @@ impl ShardedStore {
     pub fn shard_stats(&self) -> Vec<ServerStats> {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").stats)
+            .map(|s| s.read().expect("shard lock poisoned").stats.snapshot())
             .collect()
     }
 
     /// Resets the statistics of every shard.
     pub fn reset_stats(&self) {
         for shard in &self.shards {
-            shard.write().expect("shard lock poisoned").stats = ServerStats::default();
+            shard.write().expect("shard lock poisoned").stats.reset();
         }
     }
 
     /// Upload revision of `doc_id` (`None` when the document is not stored).
     pub fn revision(&self, doc_id: &str) -> Option<u64> {
-        self.shard(doc_id)
+        self.shards[self.shard_of(doc_id)]
             .read()
             .expect("shard lock poisoned")
             .store
@@ -226,12 +587,13 @@ impl ShardedStore {
             .map(|record| record.revision)
     }
 
-    /// True when `doc_id` is stored on its shard.
+    /// True when `doc_id` is stored on its home shard.
     pub fn contains(&self, doc_id: &str) -> bool {
         self.revision(doc_id).is_some()
     }
 
-    /// Ids of every stored document, across shards (sorted).
+    /// Ids of every stored document, across shards (sorted; replicas are not
+    /// inventory and are not listed).
     pub fn document_ids(&self) -> Vec<String> {
         let mut ids: Vec<String> = self
             .shards
@@ -242,7 +604,7 @@ impl ShardedStore {
         ids
     }
 
-    /// Number of stored documents, across shards.
+    /// Number of stored documents, across shards (replicas not counted).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -255,7 +617,7 @@ impl ShardedStore {
         self.len() == 0
     }
 
-    /// Total ciphertext bytes stored, across shards.
+    /// Total ciphertext bytes stored, across shards (replicas not counted).
     pub fn stored_bytes(&self) -> usize {
         self.shards
             .iter()
@@ -283,6 +645,13 @@ mod tests {
         SecureDocumentBuilder::new(id, SecretKey::derive(b"s", "k")).build(&doc)
     }
 
+    fn sealed_rules(expr: &str) -> ProtectedRules {
+        ProtectedRules::seal(
+            &RuleSet::parse(expr).unwrap(),
+            &SecretKey::derive(b"s", "rules"),
+        )
+    }
+
     #[test]
     fn documents_spread_over_shards_and_serve_like_one_store() {
         let store = ShardedStore::new(4);
@@ -308,14 +677,53 @@ mod tests {
     }
 
     #[test]
+    fn missing_objects_get_typed_errors() {
+        let store = ShardedStore::new(2);
+        store.put_document(document("here"));
+        assert!(matches!(
+            store.fetch_header("gone"),
+            Err(CoreError::NotFound { doc_id }) if doc_id == "gone"
+        ));
+        assert!(matches!(
+            store.fetch_rules("here", "stranger"),
+            Err(CoreError::NoRulesForSubject { doc_id, subject })
+                if doc_id == "here" && subject == "stranger"
+        ));
+    }
+
+    #[test]
+    fn pinned_fetches_reject_a_republished_revision() {
+        let store = ShardedStore::new(2);
+        store.put_document(document("doc"));
+        let (header, revision) = store.fetch_header_pinned("doc").unwrap();
+        assert_eq!(revision, 0);
+        let (chunk, proof) = store.fetch_chunk_pinned("doc", 0, revision).unwrap();
+        proof.verify(&chunk, &header.merkle_root).unwrap();
+
+        store.put_document(document("doc"));
+        assert!(matches!(
+            store.fetch_chunk_pinned("doc", 0, revision),
+            Err(CoreError::StaleRevision {
+                pinned: 0,
+                current: 1,
+                ..
+            })
+        ));
+        // A fresh pin serves the new revision.
+        let (_, revision) = store.fetch_header_pinned("doc").unwrap();
+        assert_eq!(revision, 1);
+        assert!(store.fetch_chunk_pinned("doc", 0, revision).is_ok());
+    }
+
+    #[test]
     fn per_shard_stats_merge_on_read() {
         let store = ShardedStore::new(4);
         for i in 0..8 {
             store.put_document(document(&format!("doc-{i}")));
         }
-        let rules = RuleSet::parse("+, doctor, //patient").unwrap();
-        let sealed = ProtectedRules::seal(&rules, &SecretKey::derive(b"s", "rules"));
-        store.put_rules("doc-0", "doctor", &sealed).unwrap();
+        store
+            .put_rules("doc-0", "doctor", &sealed_rules("+, doctor, //patient"))
+            .unwrap();
 
         for i in 0..8 {
             store.fetch_header(&format!("doc-{i}")).unwrap();
@@ -351,5 +759,155 @@ mod tests {
         store.put_document(document("only"));
         assert_eq!(store.shard_of("only"), 0);
         assert!(store.fetch_header("only").is_ok());
+    }
+
+    #[test]
+    fn pinned_replicas_spread_serving_over_shards() {
+        let store = ShardedStore::new(8);
+        store.put_document(document("hot"));
+        assert_eq!(store.replica_shards("hot").len(), 1);
+        store.pin_replicas("hot", 4).unwrap();
+        let serving = store.replica_shards("hot");
+        assert_eq!(serving.len(), 4);
+        assert_eq!(serving[0], store.shard_of("hot"));
+
+        let header = store.fetch_header("hot").unwrap();
+        for index in 0..header.chunk_count {
+            let (chunk, proof) = store.fetch_chunk("hot", index).unwrap();
+            proof.verify(&chunk, &header.merkle_root).unwrap();
+        }
+        // More than one shard accounted traffic for the single document.
+        let active = store
+            .shard_stats()
+            .iter()
+            .filter(|s| s.requests > 0)
+            .count();
+        assert!(active > 1, "replication must spread serving, got {active}");
+        // The spread is deterministic: chunk index picks the copy.
+        let first_round = store.shard_stats();
+        store.reset_stats();
+        store.fetch_header("hot").unwrap();
+        for index in 0..header.chunk_count {
+            store.fetch_chunk("hot", index).unwrap();
+        }
+        assert_eq!(store.shard_stats(), first_round);
+
+        // Replicas are not inventory.
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.document_ids(), vec!["hot"]);
+
+        assert!(matches!(
+            store.pin_replicas("gone", 4),
+            Err(CoreError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn republish_invalidates_replicas_and_repins_the_new_revision() {
+        let store = ShardedStore::new(4);
+        store.put_document(document("hot"));
+        store.pin_replicas("hot", 4).unwrap();
+        assert_eq!(store.replica_shards("hot").len(), 4);
+
+        store.put_document(document("hot"));
+        assert_eq!(store.revision("hot"), Some(1));
+        // Pinned documents re-replicate the new revision...
+        assert_eq!(store.replica_shards("hot").len(), 4);
+        // ...and every copy serves it: a pinned fetch at the new revision
+        // succeeds whichever copy the route picks.
+        for index in 0..4 {
+            assert!(store.fetch_chunk_pinned("hot", index, 1).is_ok());
+        }
+        // The old pin is stale on every copy.
+        for index in 0..4 {
+            assert!(matches!(
+                store.fetch_chunk_pinned("hot", index, 0),
+                Err(CoreError::StaleRevision { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rule_blob_sync_reaches_replicas() {
+        let store = ShardedStore::new(4);
+        store.put_document(document("hot"));
+        store.pin_replicas("hot", 4).unwrap();
+        // Blobs are stored *after* replication here: the sync must reach
+        // every copy, or subjects provisioned late would see NoRules on
+        // fetches routed to a replica.
+        let sealed = sealed_rules("+, doctor, //patient");
+        let subjects: Vec<String> = (0..12).map(|i| format!("subject-{i}")).collect();
+        for subject in &subjects {
+            store.put_rules("hot", subject, &sealed).unwrap();
+        }
+        for subject in &subjects {
+            assert_eq!(
+                store.fetch_rules("hot", subject).unwrap(),
+                sealed.encode(),
+                "routed rule fetch for `{subject}` must see the synced blob"
+            );
+        }
+        // The subject hash really routed rule traffic to more than one copy.
+        let serving_shards = store
+            .shard_stats()
+            .iter()
+            .filter(|s| s.rule_blobs_served > 0)
+            .count();
+        assert!(serving_shards > 1, "got {serving_shards} serving shard(s)");
+    }
+
+    #[test]
+    fn hot_threshold_replicates_automatically() {
+        let store = ShardedStore::new(4).with_hot_policy(HotPolicy {
+            threshold: 5,
+            replicas: 3,
+        });
+        assert_eq!(
+            store.hot_policy(),
+            Some(HotPolicy {
+                threshold: 5,
+                replicas: 3
+            })
+        );
+        store.put_document(document("warm"));
+        for _ in 0..4 {
+            store.fetch_header("warm").unwrap();
+        }
+        assert_eq!(store.replica_shards("warm").len(), 1, "below threshold");
+        store.fetch_header("warm").unwrap();
+        assert_eq!(
+            store.replica_shards("warm").len(),
+            3,
+            "crossing the threshold replicates"
+        );
+        // Republishing resets the count and drops the (unpinned) clones.
+        store.put_document(document("warm"));
+        assert_eq!(store.replica_shards("warm").len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_replicates_on_the_first_serve() {
+        let store = ShardedStore::new(4).with_hot_policy(HotPolicy {
+            threshold: 0,
+            replicas: 2,
+        });
+        store.put_document(document("eager"));
+        store.fetch_header("eager").unwrap();
+        assert_eq!(store.replica_shards("eager").len(), 2);
+    }
+
+    #[test]
+    fn explicit_pins_are_not_downgraded_by_the_hot_threshold() {
+        let store = ShardedStore::new(8).with_hot_policy(HotPolicy {
+            threshold: 3,
+            replicas: 2,
+        });
+        store.put_document(document("pinned"));
+        store.pin_replicas("pinned", 6).unwrap();
+        // Serving far past the threshold must leave the wider pin in place.
+        for _ in 0..10 {
+            store.fetch_header("pinned").unwrap();
+        }
+        assert_eq!(store.replica_shards("pinned").len(), 6);
     }
 }

@@ -79,8 +79,8 @@ impl DspStore {
         let record = self
             .documents
             .get_mut(doc_id)
-            .ok_or_else(|| CoreError::BadState {
-                message: format!("unknown document `{doc_id}`"),
+            .ok_or_else(|| CoreError::NotFound {
+                doc_id: doc_id.to_owned(),
             })?;
         record.rules.insert(subject.to_owned(), rules.encode());
         Ok(())

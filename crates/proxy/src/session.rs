@@ -46,14 +46,27 @@ enum SessionPhase {
 }
 
 /// One card pulling one document from the shared DSP service, in steps.
+///
+/// The session **pins the document revision** it sees at start: every
+/// subsequent chunk request carries that revision, so a republish in the
+/// middle of the pull surfaces as the typed
+/// `CoreError::StaleRevision` (through [`CardSession::run`] /
+/// [`CardSession::failure`]) instead of chunks of the new upload failing
+/// Merkle verification against the old header.
 pub struct CardSession {
     terminal: Terminal,
     service: Arc<DspService>,
     doc_id: String,
     phase: SessionPhase,
     batched: BatchedChannel,
+    /// Upload revision pinned at session start (`None` before the first
+    /// step).
+    revision: Option<u64>,
     view: Option<String>,
     error: Option<String>,
+    /// The typed error behind `error` (the scheduler transports only the
+    /// message; direct drivers want the real thing).
+    failure: Option<ProxyError>,
 }
 
 impl std::fmt::Debug for CardSession {
@@ -75,14 +88,29 @@ impl CardSession {
             doc_id,
             phase: SessionPhase::NotStarted,
             batched: BatchedChannel::new(channel),
+            revision: None,
             view: None,
             error: None,
+            failure: None,
         }
     }
 
     /// Document this session pulls.
     pub fn doc_id(&self) -> &str {
         &self.doc_id
+    }
+
+    /// Upload revision this session pinned at start (`None` before the first
+    /// step).
+    pub fn revision(&self) -> Option<u64> {
+        self.revision
+    }
+
+    /// The typed error a failed session retired with (the scheduler report
+    /// carries only the message string; this keeps the real error, e.g.
+    /// `CoreError::StaleRevision` after a mid-stream republish).
+    pub fn failure(&self) -> Option<&ProxyError> {
+        self.failure.as_ref()
     }
 
     /// The terminal (card ledger, session stats) backing this session.
@@ -122,7 +150,9 @@ impl CardSession {
             match Schedulable::step(self, usize::MAX) {
                 Ok(StepOutcome::Pending) => continue,
                 Ok(StepOutcome::Complete) => break,
-                Err(message) => return Err(ProxyError::Protocol(message)),
+                Err(message) => {
+                    return Err(self.failure.take().unwrap_or(ProxyError::Protocol(message)))
+                }
             }
         }
         Ok(self.view.as_deref().expect("complete session has a view"))
@@ -136,13 +166,19 @@ impl CardSession {
     }
 
     fn start(&mut self) -> Result<(), ProxyError> {
+        // The header fetch pins the upload revision for the whole session:
+        // every later request carries it, so a mid-pull republish becomes a
+        // typed `StaleRevision`, never a Merkle mismatch.
+        let (header, revision) = self.service.fetch_header_pinned(&self.doc_id)?;
+        self.revision = Some(revision);
         // Protected rules travel through the untrusted DSP as an opaque blob;
         // the card authenticates them itself on PUT_RULES.
-        let blob = self
-            .service
-            .fetch_rules(&self.doc_id, self.terminal.subject().name())?;
+        let blob = self.service.fetch_rules_pinned(
+            &self.doc_id,
+            self.terminal.subject().name(),
+            revision,
+        )?;
         self.terminal.install_rules(&blob)?;
-        let header = self.service.fetch_header(&self.doc_id)?;
         let header_bytes = header.encode();
         self.terminal.open_card_session(&header_bytes)?;
         // The provisioning exchanges ride the first step's batch too, so the
@@ -160,7 +196,10 @@ impl CardSession {
             let Some(index) = self.terminal.next_chunk_request()? else {
                 return Ok(true);
             };
-            let (chunk, proof) = self.service.fetch_chunk(&self.doc_id, index)?;
+            let revision = self.revision.expect("streaming session pinned at start");
+            let (chunk, proof) = self
+                .service
+                .fetch_chunk_pinned(&self.doc_id, index, revision)?;
             let pushed = self.terminal.push_chunk(index, &chunk, &proof.encode())?;
             // The whole request rides the step's batch: the 5-byte
             // NEXT_REQUEST command and chunk payload out, the 4-byte index
@@ -214,6 +253,7 @@ impl Schedulable for CardSession {
                 let message = format!("session `{}`: {e}", self.doc_id);
                 self.phase = SessionPhase::Failed;
                 self.error = Some(message.clone());
+                self.failure = Some(e);
                 Err(message)
             }
         }

@@ -5,8 +5,9 @@
 # the committed BENCH_baseline.json:
 #
 #   * throughput metrics (E1 events/s per rule count, E9 SOE events/s, E10
-#     aggregate simulated events/s and shard-scaling ratio) must not drop
-#     more than TOLERANCE_PCT below the baseline,
+#     aggregate simulated events/s, shard-scaling ratio and hot-document
+#     replication gain) must not drop more than TOLERANCE_PCT below the
+#     baseline,
 #   * peak-RAM metrics (E1 and E9 peak secure RAM) must not rise more than
 #     TOLERANCE_PCT above the baseline.
 #
@@ -46,7 +47,7 @@ metric() { # metric <file> <key> -> value (empty if absent)
 }
 
 gated_keys() { # the E1/E9/E10 throughput and peak-RAM keys in the baseline
-    grep -oE '"(e1\.rules_[0-9]+\.(events_per_s|peak_ram_bytes)|e9\.n[0-9]+\.(soe_events_per_s|soe_peak_ram_bytes)|e10\.clients_[0-9]+\.(shards_[0-9]+\.events_per_s|scaling_16v1))"' \
+    grep -oE '"(e1\.rules_[0-9]+\.(events_per_s|peak_ram_bytes)|e9\.n[0-9]+\.(soe_events_per_s|soe_peak_ram_bytes)|e10\.clients_[0-9]+\.(shards_[0-9]+\.events_per_s|scaling_16v1)|e10\.hot\.clients_[0-9]+\.(replicas_[0-9]+\.events_per_s|replication_gain))"' \
         "$BASELINE" | tr -d '"' |
         # "ram" keeps only the machine-independent keys: peak RAM and the
         # simulated-clock E10 metrics.
@@ -66,7 +67,7 @@ update_best() { # update_best <current.json>
             BEST[$key]="$cur"
         else
             case "$key" in
-            *events_per_s | *scaling_16v1)
+            *events_per_s | *scaling_16v1 | *replication_gain)
                 if awk -v c="$cur" -v b="${BEST[$key]}" 'BEGIN { exit !(c > b) }'; then
                     BEST[$key]="$cur"
                 fi
@@ -94,7 +95,7 @@ check_best() {
             continue
         fi
         case "$key" in
-        *events_per_s | *scaling_16v1)
+        *events_per_s | *scaling_16v1 | *replication_gain)
             # Higher is better: fail when current < base * (1 - tol).
             if awk -v c="$cur" -v b="$base" -v t="$TOLERANCE_PCT" \
                 'BEGIN { exit !(c < b * (1 - t / 100)) }'; then

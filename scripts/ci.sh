@@ -22,6 +22,11 @@ cargo build --release
 echo "==> cargo test -q (SDDS_PROP_CASES=256)"
 SDDS_PROP_CASES=256 cargo test -q
 
+echo "==> concurrent-read property test (SDDS_PROP_CASES=512)"
+# The readers-vs-republisher race deserves a deeper soak than the default
+# suite gives it: 512 completed reads under continuous republishing.
+SDDS_PROP_CASES=512 cargo test -q --test concurrent_reads
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run
 

@@ -53,7 +53,7 @@ impl CollaborativeWorkspace {
     ) -> Result<Self, SddsError> {
         let publisher = Publisher::builder(community_secret)
             .rules(initial_rules)
-            .build();
+            .build()?;
         publisher.publish(doc_id, document)?;
         Ok(CollaborativeWorkspace {
             publisher,

@@ -66,7 +66,8 @@ impl DisseminationApp {
     ) -> Self {
         let publisher = Publisher::builder(community_secret)
             .rules(subscriber_rules)
-            .build();
+            .build()
+            .expect("the dissemination publisher configuration is valid");
         let mut channel = DisseminationChannel::new("broadcast", publisher.server().document_key());
         channel.publish_all(stream_doc);
         DisseminationApp {

@@ -53,15 +53,27 @@ pub struct PublisherBuilder {
     community_secret: Vec<u8>,
     rules: RuleSet,
     shards: usize,
+    replicate: Option<usize>,
     chunk_size: Option<usize>,
 }
 
 impl PublisherBuilder {
     /// Number of shards of the backing [`DspService`] (default 1 — the
     /// single-tenant layout; a fleet deployment raises this, and nothing else
-    /// about the API changes).
+    /// about the API changes). `0` is rejected by [`PublisherBuilder::build`]
+    /// with [`SddsError::Config`].
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Pins every published document to `copies` serving shards: the service
+    /// clones it so reads spread over the copies (hot-document replication —
+    /// the E10 hot-document experiment's knob). Clamped to the shard count;
+    /// republishing re-replicates the new revision after invalidating the
+    /// old clones. Default: no replication.
+    pub fn replicate(mut self, copies: usize) -> Self {
+        self.replicate = Some(copies);
         self
     }
 
@@ -79,15 +91,32 @@ impl PublisherBuilder {
     }
 
     /// Builds the publisher over a fresh service.
-    pub fn build(self) -> Publisher {
+    ///
+    /// Fails with [`SddsError::Config`] on impossible configurations
+    /// (`.shards(0)`, `.replicate(0)`) — the lower-level `ShardedStore::new`
+    /// documents a silent clamp for the same input, but an application that
+    /// explicitly asked for zero shards almost certainly mis-computed its
+    /// deployment size, and the facade says so at build time.
+    pub fn build(self) -> Result<Publisher, SddsError> {
+        if self.shards == 0 {
+            return Err(SddsError::Config(
+                "shards must be at least 1 (a zero-shard service cannot store anything)".into(),
+            ));
+        }
+        if self.replicate == Some(0) {
+            return Err(SddsError::Config(
+                "replicate(0) would serve documents from no shard; use 1 for a single copy".into(),
+            ));
+        }
         let pki = SimulatedPki::new(&self.community_secret);
-        Publisher {
+        Ok(Publisher {
             server: TrustedServer::new(&self.community_secret, self.rules),
             pki,
             service: Arc::new(DspService::new(self.shards)),
+            replicate: self.replicate,
             chunk_size: self.chunk_size,
             known_subjects: Mutex::new(BTreeSet::new()),
-        }
+        })
     }
 }
 
@@ -99,6 +128,9 @@ pub struct Publisher {
     server: TrustedServer,
     pki: SimulatedPki,
     service: Arc<DspService>,
+    /// Serving copies every published document is pinned to (hot-document
+    /// replication); `None` leaves documents on their home shard only.
+    replicate: Option<usize>,
     chunk_size: Option<usize>,
     /// Subjects that were provisioned at least once (possibly outside the
     /// policy, with an empty rule subset): their blobs are refreshed on every
@@ -114,13 +146,17 @@ impl Publisher {
             community_secret: community_secret.to_vec(),
             rules: RuleSet::new(),
             shards: 1,
+            replicate: None,
             chunk_size: None,
         }
     }
 
     /// Convenience constructor: a 1-shard publisher with an initial policy.
     pub fn new(community_secret: &[u8], rules: RuleSet) -> Self {
-        Publisher::builder(community_secret).rules(rules).build()
+        Publisher::builder(community_secret)
+            .rules(rules)
+            .build()
+            .expect("the default publisher configuration is valid")
     }
 
     /// The trusted server (master secrets, raw policy access).
@@ -175,7 +211,11 @@ impl Publisher {
 
     /// Encrypts `document` and uploads it (with the protected rule blobs of
     /// every known subject) to the service. Re-publishing under the same id
-    /// replaces the document and bumps its revision.
+    /// replaces the document and bumps its revision — sessions opened on the
+    /// previous revision fail with [`SddsError::StaleRevision`] on their
+    /// next fetch instead of reading torn state. With
+    /// [`PublisherBuilder::replicate`], the uploaded revision is pinned to
+    /// that many serving shards.
     pub fn publish(&self, doc_id: &str, document: &Document) -> Result<PublishReceipt, SddsError> {
         let mut builder = SecureDocumentBuilder::new(doc_id, self.server.document_key());
         if let Some(chunk_size) = self.chunk_size {
@@ -194,6 +234,15 @@ impl Publisher {
                 subject.name(),
                 &self.server.protected_rules_for(&subject),
             )?;
+        }
+        // Pin only documents that are not replicated yet (whatever put the
+        // single copy there): a republish of an already-pinned document is
+        // re-replicated by the store itself (invalidate → new revision →
+        // re-clone), so pinning again would just redo that work.
+        if let Some(copies) = self.replicate {
+            if copies > 1 && self.service.replica_shards(doc_id).len() == 1 {
+                self.service.pin_replicas(doc_id, copies)?;
+            }
         }
         Ok(receipt)
     }
@@ -448,9 +497,14 @@ impl Client {
     pub fn open_stream(&self, doc_id: &str) -> Result<ViewStream, SddsError> {
         let doc_key = self.doc_key.unwrap_key(&self.transport_key)?;
         let rules_key = self.rules_key.unwrap_key(&self.transport_key)?;
-        let blob = self.service.fetch_rules(doc_id, self.subject.name())?;
+        // The header fetch pins the upload revision; every later fetch of
+        // this stream carries it, so a mid-stream republish is a typed
+        // `SddsError::StaleRevision`, never a Merkle mismatch.
+        let (header, revision) = self.service.fetch_header_pinned(doc_id)?;
+        let blob = self
+            .service
+            .fetch_rules_pinned(doc_id, self.subject.name(), revision)?;
         let rules = ProtectedRules::decode(&blob)?.open(&rules_key, None)?;
-        let header = self.service.fetch_header(doc_id)?;
 
         let mut evaluator = EvaluatorConfig::new(rules, self.subject.name());
         if self.open_policy {
@@ -464,6 +518,7 @@ impl Client {
         Ok(ViewStream::new(
             Arc::clone(&self.service),
             doc_id.to_owned(),
+            revision,
             session,
         ))
     }
@@ -564,7 +619,7 @@ mod tests {
         let primary = Publisher::new(b"hospital-2005", rules());
         let doc = hospital();
         primary.publish("folders", &doc).unwrap();
-        let replica = Publisher::builder(b"hospital-2005").build(); // empty policy
+        let replica = Publisher::builder(b"hospital-2005").build().unwrap(); // empty policy
         replica.publish("folders", &doc).unwrap();
 
         let client = Client::builder("doctor")

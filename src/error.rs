@@ -30,8 +30,38 @@ pub enum SddsError {
     /// The card (SOE) refused a command or exceeded a resource budget.
     Card(CardError),
     /// Access-control core failure: bad rule, bad secure document, bad
-    /// session state (this also covers "not stored at this DSP").
+    /// session state.
     Core(CoreError),
+    /// The requested document is not stored at the DSP — the request was
+    /// well formed, the content simply is not there.
+    NotFound {
+        /// Identifier of the missing document.
+        doc_id: String,
+    },
+    /// The DSP stores the document but no protected rule blob for the
+    /// requesting subject (e.g. the subject was never provisioned against
+    /// this service).
+    NoRulesForSubject {
+        /// Document the rules were requested for.
+        doc_id: String,
+        /// Subject with no stored blob.
+        subject: String,
+    },
+    /// The document was republished while a session held a pinned revision:
+    /// re-open the session to read the new upload. This is a staleness
+    /// signal, **not** a security event — without pinning it would surface
+    /// as an inscrutable Merkle verification failure.
+    StaleRevision {
+        /// Document whose revision moved.
+        doc_id: String,
+        /// Revision the session pinned at open.
+        pinned: u64,
+        /// Revision currently stored at the DSP.
+        current: u64,
+    },
+    /// The builder was asked for an impossible configuration (e.g.
+    /// `.shards(0)`).
+    Config(String),
     /// The terminal proxy and the card disagree on the protocol state, or a
     /// scheduled session failed with a transported message.
     Protocol(String),
@@ -45,6 +75,22 @@ impl fmt::Display for SddsError {
             SddsError::Crypto(e) => write!(f, "cryptographic error: {e}"),
             SddsError::Card(e) => write!(f, "card error: {e}"),
             SddsError::Core(e) => write!(f, "core error: {e}"),
+            SddsError::NotFound { doc_id } => {
+                write!(f, "document `{doc_id}` is not stored at this DSP")
+            }
+            SddsError::NoRulesForSubject { doc_id, subject } => {
+                write!(f, "no rules stored for subject `{subject}` on `{doc_id}`")
+            }
+            SddsError::StaleRevision {
+                doc_id,
+                pinned,
+                current,
+            } => write!(
+                f,
+                "document `{doc_id}` was republished mid-session: \
+                 pinned revision {pinned}, now {current} (re-open to resume)"
+            ),
+            SddsError::Config(m) => write!(f, "configuration error: {m}"),
             SddsError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -58,7 +104,11 @@ impl std::error::Error for SddsError {
             SddsError::Crypto(e) => Some(e),
             SddsError::Card(e) => Some(e),
             SddsError::Core(e) => Some(e),
-            SddsError::Protocol(_) => None,
+            SddsError::NotFound { .. }
+            | SddsError::NoRulesForSubject { .. }
+            | SddsError::StaleRevision { .. }
+            | SddsError::Config(_)
+            | SddsError::Protocol(_) => None,
         }
     }
 }
@@ -90,11 +140,26 @@ impl From<CardError> for SddsError {
 impl From<CoreError> for SddsError {
     fn from(e: CoreError) -> Self {
         // Normalise to the most specific layer when the core just wrapped a
-        // lower-level failure.
+        // lower-level failure, and surface the typed storage outcomes
+        // ("not stored" / "no blob" / "republished under you") as their own
+        // variants so callers can distinguish them from corrupt requests.
         match e {
             CoreError::Crypto(inner) => SddsError::Crypto(inner),
             CoreError::Card(inner) => SddsError::Card(inner),
             CoreError::Xml(inner) => SddsError::Xml(inner),
+            CoreError::NotFound { doc_id } => SddsError::NotFound { doc_id },
+            CoreError::NoRulesForSubject { doc_id, subject } => {
+                SddsError::NoRulesForSubject { doc_id, subject }
+            }
+            CoreError::StaleRevision {
+                doc_id,
+                pinned,
+                current,
+            } => SddsError::StaleRevision {
+                doc_id,
+                pinned,
+                current,
+            },
             other => SddsError::Core(other),
         }
     }
@@ -132,10 +197,44 @@ mod tests {
         let e: SddsError = ParseError::new("bad", 0, "/x[").into();
         assert!(e.to_string().contains("bad"));
         let e: SddsError = CoreError::BadState {
-            message: "not stored".into(),
+            message: "half-open session".into(),
         }
         .into();
         assert!(matches!(e, SddsError::Core(_)));
+    }
+
+    #[test]
+    fn storage_outcomes_surface_as_their_own_variants() {
+        let e: SddsError = CoreError::NotFound {
+            doc_id: "folder".into(),
+        }
+        .into();
+        assert!(matches!(e, SddsError::NotFound { ref doc_id } if doc_id == "folder"));
+        let e: SddsError = CoreError::NoRulesForSubject {
+            doc_id: "folder".into(),
+            subject: "stranger".into(),
+        }
+        .into();
+        assert!(matches!(e, SddsError::NoRulesForSubject { ref subject, .. }
+            if subject == "stranger"));
+        // ...including when the proxy layer transported them.
+        let e: SddsError = ProxyError::Core(CoreError::StaleRevision {
+            doc_id: "folder".into(),
+            pinned: 0,
+            current: 1,
+        })
+        .into();
+        assert!(matches!(
+            e,
+            SddsError::StaleRevision {
+                pinned: 0,
+                current: 1,
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("republished"));
+        let e = SddsError::Config("shards must be at least 1".into());
+        assert!(e.to_string().contains("configuration"));
     }
 
     #[test]

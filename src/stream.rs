@@ -22,6 +22,11 @@ use crate::error::SddsError;
 /// An incremental pull session: iterates over the authorized events of one
 /// document, fetching chunks from the service as the SOE requests them.
 ///
+/// The stream **pins the upload revision** it saw at open: every chunk fetch
+/// carries it, so a republish between two `next()` calls yields the typed
+/// [`SddsError::StaleRevision`] — never a chunk of the new upload failing
+/// Merkle verification against the old header.
+///
 /// Yields `Result<Event, SddsError>`; after the first error the stream is
 /// poisoned and yields nothing further. Once exhausted, the session
 /// statistics (transfer, decryption, skipping, peak RAM) are available
@@ -29,6 +34,8 @@ use crate::error::SddsError;
 pub struct ViewStream {
     service: Arc<DspService>,
     doc_id: String,
+    /// Upload revision pinned when the stream was opened.
+    revision: u64,
     /// `None` once the stream ended — normally (stats recorded) or on error
     /// (the error was yielded, the stream is poisoned).
     session: Option<SecureEvaluationSession>,
@@ -50,11 +57,13 @@ impl ViewStream {
     pub(crate) fn new(
         service: Arc<DspService>,
         doc_id: String,
+        revision: u64,
         session: SecureEvaluationSession,
     ) -> Self {
         ViewStream {
             service,
             doc_id,
+            revision,
             session: Some(session),
             buffer: VecDeque::new(),
             stats: None,
@@ -64,6 +73,11 @@ impl ViewStream {
     /// Document this stream pulls.
     pub fn doc_id(&self) -> &str {
         &self.doc_id
+    }
+
+    /// Upload revision this stream pinned at open.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Final session statistics, available once the stream is exhausted.
@@ -95,7 +109,9 @@ impl ViewStream {
                 Ok(true)
             }
             SessionRequest::NeedChunk(index) => {
-                let (chunk, proof) = self.service.fetch_chunk(&self.doc_id, index)?;
+                let (chunk, proof) =
+                    self.service
+                        .fetch_chunk_pinned(&self.doc_id, index, self.revision)?;
                 session.supply_chunk(index, &chunk, &proof)?;
                 let produced = session.take_output();
                 // Account the transfer like the terminal-side channel would.
@@ -147,7 +163,8 @@ mod tests {
         let publisher = Publisher::builder(b"hospital-2005")
             .rules(rules)
             .chunk_size(128)
-            .build();
+            .build()
+            .unwrap();
         let doc = generator::hospital(
             &HospitalProfile {
                 patients: 4,

@@ -132,7 +132,8 @@ fn dom_baseline_agrees_with_the_card_but_fetches_everything() {
     let publisher = Publisher::builder(b"hospital")
         .rules(medical_rules())
         .chunk_size(128)
-        .build();
+        .build()
+        .unwrap();
     publisher.publish("folders", &doc).unwrap();
 
     // The researcher only reads diagnosis subtrees: most chunks are skippable.

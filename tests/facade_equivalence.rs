@@ -40,7 +40,8 @@ fn views_at(shards: usize, doc: &Document) -> Vec<(String, String, String)> {
     let publisher = Publisher::builder(b"hospital-2005")
         .rules(rules())
         .shards(shards)
-        .build();
+        .build()
+        .unwrap();
     publisher.publish("folders", doc).unwrap();
     assert_eq!(publisher.service().shard_count(), shards);
 
@@ -120,7 +121,8 @@ fn scheduler_multiplexed_sessions_match_direct_facade_pulls() {
     let publisher = Publisher::builder(b"hospital-2005")
         .rules(rules())
         .shards(16)
-        .build();
+        .build()
+        .unwrap();
     for i in 0..6 {
         publisher.publish(&format!("folder-{i}"), &doc).unwrap();
     }
