@@ -4,4 +4,6 @@
 //! module so that the Criterion benches (`benches/e*.rs`) and the table
 //! printer (`src/bin/harness.rs`) measure exactly the same configurations.
 
+#![forbid(unsafe_code)]
+
 pub mod workloads;

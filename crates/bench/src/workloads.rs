@@ -45,6 +45,8 @@ pub fn medical_rules() -> RuleSet {
          +, researcher, //diagnosis\n\
          +, auditor, //acts/act[@type = \"surgery\"]/report",
     )
+    // lint: infallible — bench inputs are static and valid by construction;
+    // a panic here is a harness bug, not a recoverable condition.
     .expect("static rule set parses")
 }
 
@@ -70,6 +72,8 @@ pub fn rule_pool(n: usize) -> RuleSet {
         let sign = if i % 4 == 3 { Sign::Deny } else { Sign::Permit };
         rules
             .push(sign, "subject", OBJECTS[i % OBJECTS.len()])
+            // lint: infallible — bench inputs are static and valid by construction;
+            // a panic here is a harness bug, not a recoverable condition.
             .expect("pool rule parses");
     }
     rules
@@ -79,6 +83,8 @@ pub fn rule_pool(n: usize) -> RuleSet {
 /// kernel.
 pub fn evaluate_plain(events: &[Event], rules: &RuleSet, subject: &str) -> usize {
     let config = EvaluatorConfig::new(rules.clone(), subject);
+    // lint: infallible — bench inputs are static and valid by construction;
+    // a panic here is a harness bug, not a recoverable condition.
     let (out, _) = StreamingEvaluator::evaluate_all(&config, events).expect("evaluation succeeds");
     out.len()
 }
@@ -93,11 +99,15 @@ pub fn run_secure(
 ) -> SessionStats {
     let mut evaluator = EvaluatorConfig::new(rules.clone(), subject);
     if let Some(q) = query {
+        // lint: infallible — bench inputs are static and valid by construction;
+        // a panic here is a harness bug, not a recoverable condition.
         evaluator = evaluator.with_query(Query::parse(q).expect("query parses"));
     }
     let mut config = EngineConfig::new(evaluator);
     config.use_skip_index = use_skip_index;
     let (_, stats) = evaluate_secure_document(document, &bench_key(), config)
+        // lint: infallible — bench inputs are static and valid by construction;
+        // a panic here is a harness bug, not a recoverable condition.
         .expect("secure evaluation succeeds");
     stats
 }
@@ -126,6 +136,8 @@ pub fn stream(items: usize) -> Document {
 /// Parental-control rules of the dissemination subscriber.
 pub fn parental_rules() -> (RuleSet, AccessPolicy) {
     (
+        // lint: infallible — bench inputs are static and valid by construction;
+        // a panic here is a harness bug, not a recoverable condition.
         RuleSet::parse("-, child, //item[rating > 12]").expect("parses"),
         AccessPolicy::open(),
     )
@@ -274,11 +286,15 @@ pub fn multi_client(config: MultiClientConfig) -> MultiClientOutcome {
         .shards(config.shards)
         .chunk_size(256)
         .build()
+        // lint: infallible — bench inputs are static and valid by construction;
+        // a panic here is a harness bug, not a recoverable condition.
         .expect("the E10 publisher configuration is valid");
     let doc = Corpus::Hospital.generate(config.doc_elements, &GeneratorConfig::default());
     for i in 0..config.clients {
         publisher
             .publish(&format!("folder-{i}"), &doc)
+            // lint: infallible — bench inputs are static and valid by construction;
+            // a panic here is a harness bug, not a recoverable condition.
             .expect("publishing the per-client folder");
     }
 
@@ -286,6 +302,8 @@ pub fn multi_client(config: MultiClientConfig) -> MultiClientOutcome {
         .map(|i| {
             Client::builder(SUBJECTS[i % SUBJECTS.len()])
                 .provision(&publisher)
+                // lint: infallible — bench inputs are static and valid by construction;
+                // a panic here is a harness bug, not a recoverable condition.
                 .expect("provisioning the client")
         })
         .collect();
@@ -298,6 +316,8 @@ pub fn multi_client(config: MultiClientConfig) -> MultiClientOutcome {
         .map(|(i, client)| {
             client
                 .connect(format!("folder-{i}"))
+                // lint: infallible — bench inputs are static and valid by construction;
+                // a panic here is a harness bug, not a recoverable condition.
                 .expect("connecting the session")
         })
         .collect();
@@ -366,16 +386,22 @@ pub fn hot_document(config: HotDocumentConfig) -> MultiClientOutcome {
     }
     let publisher = builder
         .build()
+        // lint: infallible — bench inputs are static and valid by construction;
+        // a panic here is a harness bug, not a recoverable condition.
         .expect("the E10 hot-document publisher configuration is valid");
     let doc = Corpus::Hospital.generate(config.doc_elements, &GeneratorConfig::default());
     publisher
         .publish("hot-folder", &doc)
+        // lint: infallible — bench inputs are static and valid by construction;
+        // a panic here is a harness bug, not a recoverable condition.
         .expect("publishing the hot folder");
 
     let clients: Vec<Client> = (0..config.clients)
         .map(|i| {
             Client::builder(SUBJECTS[i % SUBJECTS.len()])
                 .provision(&publisher)
+                // lint: infallible — bench inputs are static and valid by construction;
+                // a panic here is a harness bug, not a recoverable condition.
                 .expect("provisioning the client")
         })
         .collect();
@@ -386,6 +412,8 @@ pub fn hot_document(config: HotDocumentConfig) -> MultiClientOutcome {
         .map(|client| {
             client
                 .connect("hot-folder")
+                // lint: infallible — bench inputs are static and valid by construction;
+                // a panic here is a harness bug, not a recoverable condition.
                 .expect("connecting the session")
         })
         .collect();

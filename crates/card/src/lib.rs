@@ -18,6 +18,8 @@
 //! * [`card`] — the card runtime tying the above together and hosting an
 //!   [`card::Applet`] (the access-control engine of `sdds-core`).
 
+#![forbid(unsafe_code)]
+
 pub mod apdu;
 pub mod card;
 pub mod channel;

@@ -1,0 +1,306 @@
+#![forbid(unsafe_code)]
+//! `sdds-check` — a loom-style concurrency model checker for the SDDS
+//! workspace, with no dependencies outside `std`.
+//!
+//! # What it does
+//!
+//! A [`Model`] runs a closed test body under **bounded exhaustive DFS over
+//! thread interleavings**. The body uses the shim primitives in [`shim`]
+//! (`Mutex`, `RwLock`, `Condvar`, atomics, `thread::spawn`/`scope`) instead
+//! of `std::sync`; every shim operation is a *scheduling point* where a
+//! cooperative scheduler decides which thread runs next. The checker
+//! systematically enumerates those decisions:
+//!
+//! - **Exhaustive within bounds** — all schedules up to the preemption bound
+//!   (default 2 preemptive switches; forced switches at blocking points are
+//!   free), or until the branch budget (`SDDS_CHECK_BRANCHES`) runs out.
+//! - **Deterministic and replayable** — a schedule is the list of choice
+//!   indices taken; a counterexample prints it, and
+//!   `SDDS_CHECK_REPLAY=<schedule>` re-runs exactly that interleaving.
+//! - **Deadlock and lost-wakeup detection** — a state where no thread can
+//!   run is reported as a counterexample instead of hanging, and an
+//!   all-threads-parked-on-condvars state is flagged as a lost wakeup.
+//!
+//! Production code never imports this crate directly: the `sdds-sync` facade
+//! re-exports `std::sync`/`std::thread` normally and these shims under
+//! `--cfg sdds_check`, so the same `sdds-dsp`/`sdds-proxy` sources are
+//! model-checkable without forking them.
+//!
+//! # Example
+//!
+//! ```
+//! use sdds_check::Model;
+//! use sdds_check::shim::sync::{Arc, Mutex};
+//! use sdds_check::shim::thread;
+//!
+//! let report = Model::default()
+//!     .check("counter", || {
+//!         let n = Arc::new(Mutex::new(0u32));
+//!         let n2 = Arc::clone(&n);
+//!         let t = thread::spawn(move || {
+//!             *n2.lock().unwrap() += 1;
+//!         });
+//!         *n.lock().unwrap() += 1;
+//!         t.join().unwrap();
+//!         assert_eq!(*n.lock().unwrap(), 2);
+//!     })
+//!     .expect("no interleaving violates the invariant");
+//! assert!(report.exhausted);
+//! ```
+//!
+//! # Reading a counterexample
+//!
+//! A failing [`check`](Model::check) returns a [`Counterexample`]; its
+//! `Display` shows the failure (assertion message, deadlock report, …), the
+//! schedule as comma-separated choice indices, and the granted-thread trace.
+//! Re-run the single failing interleaving with
+//! `SDDS_CHECK_REPLAY=<schedule> cargo test -p sdds-check <test_name>`.
+
+mod exec;
+pub mod shim;
+
+use exec::{run_once, Failure};
+use std::fmt;
+
+/// Environment variable bounding how many executions one model may run.
+pub const BRANCHES_ENV: &str = "SDDS_CHECK_BRANCHES";
+/// Environment variable overriding the preemption bound.
+pub const PREEMPTIONS_ENV: &str = "SDDS_CHECK_PREEMPTIONS";
+/// Environment variable holding a single schedule to replay instead of
+/// searching (comma-separated choice indices, as printed by a
+/// [`Counterexample`]).
+pub const REPLAY_ENV: &str = "SDDS_CHECK_REPLAY";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a schedule string (`"0,1,0,2"`) as printed in a counterexample.
+/// Non-numeric fragments are ignored, so a schedule pasted with surrounding
+/// punctuation still parses.
+pub fn parse_schedule(s: &str) -> Vec<usize> {
+    s.split(',')
+        .filter_map(|part| part.trim().parse().ok())
+        .collect()
+}
+
+/// Exploration budget and bounds for one model check.
+#[derive(Debug, Clone, Copy)]
+pub struct Model {
+    branches: usize,
+    preemption_bound: usize,
+    max_steps: usize,
+}
+
+impl Default for Model {
+    /// Reads the budget from the environment: `SDDS_CHECK_BRANCHES`
+    /// executions (default 20 000) and `SDDS_CHECK_PREEMPTIONS` preemptive
+    /// switches (default 2).
+    fn default() -> Self {
+        Model {
+            branches: env_usize(BRANCHES_ENV, 20_000),
+            preemption_bound: env_usize(PREEMPTIONS_ENV, 2),
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Model {
+    /// A model with the environment-provided default budget.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Caps the number of executions explored (overrides the env budget).
+    pub fn branches(mut self, branches: usize) -> Self {
+        self.branches = branches.max(1);
+        self
+    }
+
+    /// Caps preemptive context switches per execution. Forced switches (at
+    /// blocking operations) are always explored and do not count.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps scheduling points per execution; exceeding it fails the
+    /// execution as a livelock.
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps.max(1);
+        self
+    }
+
+    /// Explores interleavings of `f` depth-first until a failure, exhaustion,
+    /// or the branch budget. `f` runs once per execution and must be
+    /// self-contained (fresh state each run).
+    ///
+    /// With `SDDS_CHECK_REPLAY` set, runs exactly that one schedule instead
+    /// of searching.
+    pub fn check<F>(&self, name: &str, f: F) -> Result<Report, Box<Counterexample>>
+    where
+        F: Fn() + Sync,
+    {
+        if let Ok(replay_schedule) = std::env::var(REPLAY_ENV) {
+            let preset = parse_schedule(&replay_schedule);
+            return self.run_preset(name, &preset, 1, &f).map(|()| Report {
+                executions: 1,
+                exhausted: false,
+            });
+        }
+        let mut preset: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            let outcome = run_once(&preset, self.preemption_bound, self.max_steps, &f);
+            executions += 1;
+            if let Some(failure) = outcome.failure {
+                return Err(Box::new(Counterexample::new(
+                    name,
+                    &outcome.schedule,
+                    outcome.trace,
+                    failure,
+                    executions,
+                )));
+            }
+            // Backtrack: deepest choice with an untried alternative.
+            let deepest = outcome
+                .schedule
+                .iter()
+                .rposition(|c| c.chosen + 1 < c.eligible.len());
+            let Some(depth) = deepest else {
+                return Ok(Report {
+                    executions,
+                    exhausted: true,
+                });
+            };
+            if executions >= self.branches {
+                return Ok(Report {
+                    executions,
+                    exhausted: false,
+                });
+            }
+            preset = outcome.schedule[..depth].iter().map(|c| c.chosen).collect();
+            preset.push(outcome.schedule[depth].chosen + 1);
+        }
+    }
+
+    /// Replays one specific schedule (as printed by a counterexample) and
+    /// reports whether it still fails.
+    pub fn replay<F>(&self, name: &str, schedule: &[usize], f: F) -> Result<(), Box<Counterexample>>
+    where
+        F: Fn() + Sync,
+    {
+        self.run_preset(name, schedule, 1, &f)
+    }
+
+    fn run_preset(
+        &self,
+        name: &str,
+        preset: &[usize],
+        executions: usize,
+        f: &(dyn Fn() + Sync),
+    ) -> Result<(), Box<Counterexample>> {
+        let outcome = run_once(preset, self.preemption_bound, self.max_steps, f);
+        match outcome.failure {
+            None => Ok(()),
+            Some(failure) => Err(Box::new(Counterexample::new(
+                name,
+                &outcome.schedule,
+                outcome.trace,
+                failure,
+                executions,
+            ))),
+        }
+    }
+}
+
+/// Convenience: [`Model::default()`]`.check(name, f)`.
+pub fn check<F>(name: &str, f: F) -> Result<Report, Box<Counterexample>>
+where
+    F: Fn() + Sync,
+{
+    Model::default().check(name, f)
+}
+
+/// Outcome of a successful exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Executions (distinct schedules) actually run.
+    pub executions: usize,
+    /// True when the whole bounded schedule space was explored; false when
+    /// the branch budget stopped the search first.
+    pub exhausted: bool,
+}
+
+/// A failing interleaving: what went wrong and how to run it again.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Model name, as passed to [`Model::check`].
+    pub name: String,
+    /// Choice index taken at each scheduling point — the replayable schedule.
+    pub schedule: Vec<usize>,
+    /// Thread granted at each scheduling point (`t0` is the test body).
+    pub trace: Vec<usize>,
+    /// Failure description: panic message, deadlock report, or step budget.
+    pub message: String,
+    /// How many executions ran before this one failed.
+    pub executions: usize,
+}
+
+impl Counterexample {
+    fn new(
+        name: &str,
+        schedule: &[exec::Choice],
+        trace: Vec<usize>,
+        failure: Failure,
+        executions: usize,
+    ) -> Self {
+        Counterexample {
+            name: name.to_owned(),
+            schedule: schedule.iter().map(|c| c.chosen).collect(),
+            trace,
+            message: failure.message(),
+            executions,
+        }
+    }
+
+    /// The schedule in the `SDDS_CHECK_REPLAY` wire format (`"0,1,0,2"`).
+    pub fn schedule_string(&self) -> String {
+        self.schedule
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model '{}' failed on execution {}: {}",
+            self.name, self.executions, self.message
+        )?;
+        writeln!(f, "  schedule: {}", self.schedule_string())?;
+        let shown: Vec<String> = self
+            .trace
+            .iter()
+            .take(64)
+            .map(|t| format!("t{t}"))
+            .collect();
+        let ellipsis = if self.trace.len() > 64 { " …" } else { "" };
+        writeln!(f, "  trace:    {}{}", shown.join(" "), ellipsis)?;
+        write!(
+            f,
+            "  replay:   {}={} cargo test -p sdds-check {}",
+            REPLAY_ENV,
+            self.schedule_string(),
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for Counterexample {}

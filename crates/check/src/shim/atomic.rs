@@ -1,0 +1,144 @@
+//! Shim atomics.
+//!
+//! Each shim atomic wraps the real `std` atomic and inserts one scheduling
+//! point before every operation, so the DFS explores the interleavings of
+//! atomic accesses with everything else. The model serializes execution, so
+//! the *memory ordering* argument has no observable effect under the model —
+//! the shim performs every inner operation `SeqCst` and explores reorderings
+//! at the scheduling level instead. This checks interleaving races (lost
+//! updates, check-then-act windows), not weak-memory behaviour.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec::current_ctx;
+
+macro_rules! shim_atomic {
+    ($name:ident, $inner:path, $value:ty) => {
+        /// Model-checked stand-in for the `std` atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $inner,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(value: $value) -> Self {
+                Self {
+                    inner: <$inner>::new(value),
+                }
+            }
+
+            fn point() {
+                if let Some(ctx) = current_ctx() {
+                    ctx.point();
+                }
+            }
+
+            /// Loads the value (`order` is accepted for API parity; the model
+            /// always runs the inner operation `SeqCst`).
+            pub fn load(&self, _order: Ordering) -> $value {
+                Self::point();
+                // ordering: the model serialises every step, so SeqCst
+                // underneath costs nothing and is never weaker than the
+                // ordering the caller asked for.
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Stores `value`.
+            pub fn store(&self, value: $value, _order: Ordering) {
+                Self::point();
+                // ordering: see `load` — the model always runs SeqCst.
+                self.inner.store(value, Ordering::SeqCst)
+            }
+
+            /// Atomically replaces the value, returning the previous one.
+            pub fn swap(&self, value: $value, _order: Ordering) -> $value {
+                Self::point();
+                // ordering: see `load` — the model always runs SeqCst.
+                self.inner.swap(value, Ordering::SeqCst)
+            }
+
+            /// Atomically adds, returning the previous value.
+            pub fn fetch_add(&self, value: $value, _order: Ordering) -> $value {
+                Self::point();
+                // ordering: see `load` — the model always runs SeqCst.
+                self.inner.fetch_add(value, Ordering::SeqCst)
+            }
+
+            /// Atomically subtracts, returning the previous value.
+            pub fn fetch_sub(&self, value: $value, _order: Ordering) -> $value {
+                Self::point();
+                // ordering: see `load` — the model always runs SeqCst.
+                self.inner.fetch_sub(value, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            pub fn into_inner(self) -> $value {
+                self.inner.into_inner()
+            }
+
+            /// Mutable access without synchronization (requires exclusive
+            /// ownership).
+            pub fn get_mut(&mut self) -> &mut $value {
+                self.inner.get_mut()
+            }
+        }
+
+        impl From<$value> for $name {
+            fn from(value: $value) -> Self {
+                Self::new(value)
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+/// Model-checked stand-in for [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic flag with the given initial value.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn point() {
+        if let Some(ctx) = current_ctx() {
+            ctx.point();
+        }
+    }
+
+    /// Loads the flag.
+    pub fn load(&self, _order: Ordering) -> bool {
+        Self::point();
+        // ordering: see the integer shims — the model always runs SeqCst.
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Stores the flag.
+    pub fn store(&self, value: bool, _order: Ordering) {
+        Self::point();
+        // ordering: see `load` — the model always runs SeqCst.
+        self.inner.store(value, Ordering::SeqCst)
+    }
+
+    /// Atomically replaces the flag, returning the previous value.
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        Self::point();
+        // ordering: see `load` — the model always runs SeqCst.
+        self.inner.swap(value, Ordering::SeqCst)
+    }
+
+    /// Consumes the atomic, returning the inner value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}

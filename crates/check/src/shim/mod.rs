@@ -1,0 +1,17 @@
+//! Drop-in stand-ins for the `std::sync` / `std::thread` surface the
+//! workspace's concurrent code uses.
+//!
+//! Each shim wraps the real `std` primitive and adds a *scheduling point*
+//! before every visible operation. Inside a [`crate::Model`] run the point
+//! hands control to the cooperative scheduler, which explores interleavings;
+//! outside a model run the shims degrade to the plain `std` behaviour, so
+//! code compiled against them stays correct (just un-instrumented) wherever
+//! it executes.
+//!
+//! The `sdds-sync` facade re-exports these under `--cfg sdds_check` and the
+//! real `std` types otherwise — library code imports `sdds_sync::sync` /
+//! `sdds_sync::thread` and never sees the difference.
+
+pub mod atomic;
+pub mod sync;
+pub mod thread;

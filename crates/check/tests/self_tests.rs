@@ -1,0 +1,327 @@
+//! Self-tests for the model checker: plant known concurrency bugs and assert
+//! the bounded-exhaustive search finds each one with a replayable
+//! counterexample schedule — plus positive controls proving the fixed
+//! variants pass exhaustively.
+
+use sdds_check::shim::sync::{Arc, Condvar, Mutex};
+use sdds_check::shim::thread;
+use sdds_check::Model;
+
+/// Small bounded model: these bugs all surface within a handful of
+/// executions, and the bound keeps the failing tests snappy.
+fn model() -> Model {
+    Model::new().branches(5_000).preemption_bound(2)
+}
+
+// ---------------------------------------------------------------------------
+// Planted bug 1: torn two-field update (Mutex misuse).
+// ---------------------------------------------------------------------------
+
+/// The writer keeps the invariant `a == b`, but updates the two fields in
+/// two *separate* critical sections — a reader scheduled between them sees
+/// the pair torn.
+#[test]
+fn finds_torn_two_field_update() {
+    let counterexample = model()
+        .check("torn_pair", || {
+            let pair = Arc::new((Mutex::new(0u32), Mutex::new(0u32)));
+            let writer = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                *writer.0.lock().unwrap() += 1;
+                // BUG: the invariant a == b is broken here, outside any lock.
+                *writer.1.lock().unwrap() += 1;
+            });
+            let a = *pair.0.lock().unwrap();
+            let b = *pair.1.lock().unwrap();
+            assert!(!(a == 1 && b == 0), "torn read: a={a} b={b}");
+            t.join().unwrap();
+        })
+        .expect_err("the torn update must be found");
+    assert!(
+        counterexample.message.contains("torn read"),
+        "unexpected failure: {counterexample}"
+    );
+    assert!(!counterexample.schedule.is_empty());
+
+    // The counterexample replays: the same schedule fails the same way.
+    let replayed = model()
+        .replay("torn_pair_replay", &counterexample.schedule, || {
+            let pair = Arc::new((Mutex::new(0u32), Mutex::new(0u32)));
+            let writer = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                *writer.0.lock().unwrap() += 1;
+                *writer.1.lock().unwrap() += 1;
+            });
+            let a = *pair.0.lock().unwrap();
+            let b = *pair.1.lock().unwrap();
+            assert!(!(a == 1 && b == 0), "torn read: a={a} b={b}");
+            t.join().unwrap();
+        })
+        .expect_err("replaying the counterexample schedule must fail again");
+    assert!(replayed.message.contains("torn read"), "{replayed}");
+}
+
+/// Positive control: one critical section updating both fields — no
+/// interleaving tears the pair.
+#[test]
+fn fixed_two_field_update_passes_exhaustively() {
+    let report = model()
+        .check("whole_pair", || {
+            let pair = Arc::new(Mutex::new((0u32, 0u32)));
+            let writer = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let mut p = writer.lock().unwrap();
+                p.0 += 1;
+                p.1 += 1;
+            });
+            {
+                let p = pair.lock().unwrap();
+                assert_eq!(p.0, p.1, "torn read: {p:?}");
+            }
+            t.join().unwrap();
+        })
+        .expect("the fixed variant has no failing interleaving");
+    assert!(report.exhausted, "search must exhaust: {report:?}");
+    assert!(report.executions > 1, "model must actually branch");
+}
+
+// ---------------------------------------------------------------------------
+// Planted bug 2: lost wakeup (check-then-wait gap).
+// ---------------------------------------------------------------------------
+
+/// The waiter checks the flag and *then* re-acquires the lock to wait: the
+/// notifier can fire in the gap, and the notification is lost — every
+/// remaining thread ends up parked on the condvar.
+#[test]
+fn finds_lost_wakeup() {
+    let counterexample = model()
+        .check("lost_wakeup", || {
+            let ready = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = Arc::clone(&ready);
+            let t = thread::spawn(move || {
+                *setter.0.lock().unwrap() = true;
+                setter.1.notify_one();
+            });
+            // BUG: the flag check and the wait are two separate critical
+            // sections; a notify in between is lost.
+            let was_ready = *ready.0.lock().unwrap();
+            if !was_ready {
+                let guard = ready.0.lock().unwrap();
+                let _guard = ready.1.wait(guard).unwrap();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("the lost wakeup must be found");
+    assert!(
+        counterexample.message.contains("lost wakeup"),
+        "expected a lost-wakeup report, got: {counterexample}"
+    );
+
+    // Deadlock counterexamples replay too.
+    let replayed = model()
+        .replay("lost_wakeup_replay", &counterexample.schedule, || {
+            let ready = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = Arc::clone(&ready);
+            let t = thread::spawn(move || {
+                *setter.0.lock().unwrap() = true;
+                setter.1.notify_one();
+            });
+            let was_ready = *ready.0.lock().unwrap();
+            if !was_ready {
+                let guard = ready.0.lock().unwrap();
+                let _guard = ready.1.wait(guard).unwrap();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("replaying the lost-wakeup schedule must fail again");
+    assert!(replayed.message.contains("lost wakeup"), "{replayed}");
+}
+
+/// Positive control: the canonical while-under-one-guard wait never loses
+/// the notification.
+#[test]
+fn fixed_condvar_wait_passes_exhaustively() {
+    let report = model()
+        .check("condvar_ok", || {
+            let ready = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = Arc::clone(&ready);
+            let t = thread::spawn(move || {
+                *setter.0.lock().unwrap() = true;
+                setter.1.notify_one();
+            });
+            let mut guard = ready.0.lock().unwrap();
+            while !*guard {
+                guard = ready.1.wait(guard).unwrap();
+            }
+            drop(guard);
+            t.join().unwrap();
+        })
+        .expect("the fixed variant has no failing interleaving");
+    assert!(report.exhausted, "search must exhaust: {report:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Planted bug 3: AB/BA deadlock.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn finds_ab_ba_deadlock() {
+    let counterexample = model()
+        .check("ab_ba", || {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _b = b2.lock().unwrap();
+                let _a = a2.lock().unwrap();
+            });
+            {
+                let _a = a.lock().unwrap();
+                let _b = b.lock().unwrap();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("the AB/BA deadlock must be found");
+    assert!(
+        counterexample.message.contains("deadlock"),
+        "expected a deadlock report, got: {counterexample}"
+    );
+    assert!(
+        counterexample.message.contains("blocked acquiring lock"),
+        "report should name the locks: {counterexample}"
+    );
+
+    let replayed = model()
+        .replay("ab_ba_replay", &counterexample.schedule, || {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _b = b2.lock().unwrap();
+                let _a = a2.lock().unwrap();
+            });
+            {
+                let _a = a.lock().unwrap();
+                let _b = b.lock().unwrap();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("replaying the deadlock schedule must fail again");
+    assert!(replayed.message.contains("deadlock"), "{replayed}");
+}
+
+/// Positive control: a consistent lock order cannot deadlock.
+#[test]
+fn consistent_lock_order_passes_exhaustively() {
+    let report = model()
+        .check("ab_ab", || {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _a = a2.lock().unwrap();
+                let _b = b2.lock().unwrap();
+            });
+            {
+                let _a = a.lock().unwrap();
+                let _b = b.lock().unwrap();
+            }
+            t.join().unwrap();
+        })
+        .expect("consistent lock order has no failing interleaving");
+    assert!(report.exhausted, "search must exhaust: {report:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Engine behaviours the models above rely on.
+// ---------------------------------------------------------------------------
+
+/// Counterexamples are deterministic: the same model fails with the same
+/// schedule every time (seed-replayable by construction).
+#[test]
+fn counterexamples_are_deterministic() {
+    let run = || {
+        model()
+            .check("det", || {
+                let n = Arc::new(Mutex::new(0u32));
+                let n2 = Arc::clone(&n);
+                let t = thread::spawn(move || {
+                    *n2.lock().unwrap() += 1;
+                });
+                let seen = *n.lock().unwrap();
+                t.join().unwrap();
+                assert_eq!(seen, 0, "child ran first");
+            })
+            .expect_err("one interleaving runs the child first")
+    };
+    let (first, second) = (run(), run());
+    assert_eq!(first.schedule, second.schedule);
+    assert_eq!(first.executions, second.executions);
+    assert_eq!(first.message, second.message);
+}
+
+/// Lost updates through a non-atomic read-modify-write on a shared counter
+/// (two threads, RwLock misused as read-then-write) are found.
+#[test]
+fn finds_lost_update_through_rwlock() {
+    use sdds_check::shim::sync::RwLock;
+    let counterexample = model()
+        .check("lost_update", || {
+            let n = Arc::new(RwLock::new(0u32));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                // BUG: read and write are separate lock acquisitions.
+                let seen = *n2.read().unwrap();
+                *n2.write().unwrap() = seen + 1;
+            });
+            let seen = *n.read().unwrap();
+            *n.write().unwrap() = seen + 1;
+            t.join().unwrap();
+            assert_eq!(*n.read().unwrap(), 2, "lost update");
+        })
+        .expect_err("the lost update must be found");
+    assert!(
+        counterexample.message.contains("lost update"),
+        "{counterexample}"
+    );
+}
+
+/// Scoped threads (the `SessionScheduler` shape) work under the model and
+/// join cleanly in every schedule.
+#[test]
+fn scoped_threads_pass_exhaustively() {
+    let report = model()
+        .check("scoped", || {
+            let total = Mutex::new(0u32);
+            thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        *total.lock().unwrap() += 1;
+                    });
+                }
+            });
+            assert_eq!(total.into_inner().unwrap(), 2);
+        })
+        .expect("scoped counter has no failing interleaving");
+    assert!(report.exhausted, "search must exhaust: {report:?}");
+}
+
+/// The counterexample display carries the schedule and replay instructions.
+#[test]
+fn counterexample_display_is_actionable() {
+    let counterexample = model()
+        .check("display", || {
+            let flag = Arc::new(Mutex::new(false));
+            let flag2 = Arc::clone(&flag);
+            let t = thread::spawn(move || {
+                *flag2.lock().unwrap() = true;
+            });
+            assert!(!*flag.lock().unwrap(), "flag flipped early");
+            t.join().unwrap();
+        })
+        .expect_err("one interleaving flips the flag first");
+    let text = counterexample.to_string();
+    assert!(text.contains("schedule:"), "{text}");
+    assert!(text.contains("SDDS_CHECK_REPLAY="), "{text}");
+    assert!(text.contains(&counterexample.schedule_string()), "{text}");
+}

@@ -218,6 +218,9 @@ impl ViewAssembler {
                     match decided {
                         Some((decision, in_scope)) => {
                             let QueuedEvent { event, .. } =
+                                // lint: infallible — the surrounding match is
+                                // on `self.queue.front()`, so the queue is
+                                // non-empty here.
                                 self.queue.pop_front().expect("front checked above");
                             self.render_open(event, decision, in_scope);
                         }
@@ -226,6 +229,7 @@ impl ViewAssembler {
                 }
                 Event::Text(_) => {
                     let QueuedEvent { event, .. } =
+                        // lint: infallible — same `front()` match as above.
                         self.queue.pop_front().expect("front checked above");
                     self.render_text(event);
                 }
@@ -292,6 +296,7 @@ impl ViewAssembler {
 
     fn render_open(&mut self, event: Event, decision: Decision, in_scope: bool) {
         let Event::Open { name, attrs } = event else {
+            // lint: infallible — the only caller matched `Event::Open` first.
             unreachable!("render_open called with a non-open event")
         };
         let delivered = decision.is_permit() && in_scope;

@@ -243,6 +243,8 @@ impl DispatchTable {
                     name: self.symbols.intern(name),
                     condition: condition.clone(),
                 },
+                // lint: infallible — the compiler splits predicates into
+                // immediate (attribute) and deferred before reaching here.
                 other => unreachable!("non-attribute immediate predicate {other:?}"),
             })
             .collect();
@@ -301,6 +303,8 @@ impl DispatchTable {
                 condition: condition.clone(),
             },
             CompiledPredicate::Attribute { .. } => {
+                // lint: infallible — `pred_id` is only called for deferred
+                // predicates; attribute predicates stay immediate.
                 unreachable!("attribute predicates are immediate")
             }
         };

@@ -336,6 +336,8 @@ impl SecureEvaluationSession {
             let result = self
                 .reader
                 .as_mut()
+                // lint: infallible — `pump` is only reached from `step`,
+                // which bails out earlier when the reader is finished.
                 .expect("pump requires a reader")
                 .next_token()?;
             match result {
@@ -349,6 +351,7 @@ impl SecureEvaluationSession {
                 }
                 ReadResult::Token(TokenEvent::Summary(summary)) => {
                     if self.config.use_skip_index && self.can_skip(&summary) {
+                        // lint: infallible — same guard as the `pump` entry.
                         let reader = self.reader.as_mut().expect("reader present");
                         reader.skip(summary.content_len);
                         self.stats.ledger.record_skip(summary.content_len as usize);
@@ -359,6 +362,7 @@ impl SecureEvaluationSession {
                     let needed = self
                         .reader
                         .as_ref()
+                        // lint: infallible — same guard as the `pump` entry.
                         .expect("reader present")
                         .needed_offset();
                     let target_chunk = (needed / u64::from(self.header.chunk_size)) as u32;
@@ -702,8 +706,10 @@ impl AccessControlApplet {
         if payload.len() < 6 {
             return ApduResponse::error(StatusWord::WRONG_LENGTH);
         }
+        // lint: infallible — `payload.len() >= 6` is checked above, so both
+        // fixed-width slices convert exactly.
         let index = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes"));
-        let proof_len = u16::from_le_bytes(payload[4..6].try_into().expect("2 bytes")) as usize;
+        let proof_len = u16::from_le_bytes(payload[4..6].try_into().expect("2 bytes")) as usize; // lint: infallible — see above
         let Some(proof_bytes) = payload.get(6..6 + proof_len) else {
             return ApduResponse::error(StatusWord::WRONG_LENGTH);
         };
@@ -712,6 +718,8 @@ impl AccessControlApplet {
             Err(_) => return ApduResponse::error(StatusWord::WRONG_LENGTH),
         };
         let ciphertext = &payload[6 + proof_len..];
+        // lint: infallible — the handler returns `CONDITIONS_NOT_SATISFIED`
+        // earlier when no session is open.
         let session = self.session.as_mut().expect("session checked above");
         match session.supply_chunk(index, ciphertext, &proof) {
             Ok(events) => {

@@ -40,6 +40,8 @@
 //! * [`session`] — access-rule refresh / key provisioning protocols between a
 //!   trusted server and the SOE.
 
+#![forbid(unsafe_code)]
+
 pub mod assembler;
 pub mod automaton;
 pub mod baseline;

@@ -293,14 +293,17 @@ impl RuleSet {
         if bytes.len() < 12 {
             return Err(bad("truncated header"));
         }
+        // lint: infallible — `bytes.len() >= 12` is checked above, so the
+        // fixed-width slices convert exactly.
         let version = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
-        let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize; // lint: infallible — see above
         let mut pos = 12usize;
         let mut rules = Vec::with_capacity(count);
         for _ in 0..count {
             if pos + 5 > bytes.len() {
                 return Err(bad("truncated rule header"));
             }
+            // lint: infallible — `pos + 5 <= bytes.len()` is checked above.
             let id = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
             pos += 4;
             let sign = match bytes[pos] {
@@ -314,6 +317,8 @@ impl RuleSet {
                     return Err(bad("truncated string length"));
                 }
                 let len =
+                    // lint: infallible — `*pos + 2 <= bytes.len()` is checked
+                    // just above.
                     u16::from_le_bytes(bytes[*pos..*pos + 2].try_into().expect("2 bytes")) as usize;
                 *pos += 2;
                 let s = bytes

@@ -663,6 +663,7 @@ impl RuleEngine {
             });
         }
         self.frames.push(new_frame);
+        // lint: infallible — pushed on the preceding line.
         let frame = self.frames.last_mut().expect("frame just pushed");
         register_frame(
             &self.table,
@@ -714,6 +715,8 @@ impl RuleEngine {
 
     fn process_close(&mut self, event: &Event, outputs: &mut Vec<EngineOutput>) {
         let depth = (self.frames.len() - 1) as u32;
+        // lint: infallible — the tokenizer only emits balanced events, so
+        // every close has a matching open frame.
         let frame = self.frames.pop().expect("close without a matching open");
         // Unregister the frame's bucket entries (always the bucket suffix:
         // registrations only ever target the innermost open element).
@@ -815,6 +818,7 @@ impl OpenScope<'_> {
                         Some((_, m)) => m,
                         None => {
                             self.direct.push((i, MatchAlternatives::default()));
+                            // lint: infallible — pushed on the line above.
                             &mut self.direct.last_mut().expect("just pushed").1
                         }
                     };

@@ -126,14 +126,16 @@ impl DocumentHeader {
             *pos += n;
             Ok(s)
         };
+        // lint: infallible — `take(n)` returns exactly `n` bytes, so every
+        // fixed-width conversion below succeeds.
         let nonce: [u8; 8] = take(&mut pos, 8)?.try_into().expect("8 bytes");
-        let chunk_size = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
-        let chunk_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
-        let plaintext_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
-        let tokens_start = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        let chunk_size = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")); // lint: infallible — see above
+        let chunk_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")); // lint: infallible — see above
+        let plaintext_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")); // lint: infallible — see above
+        let tokens_start = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")); // lint: infallible — see above
         let recursive_bitmaps = take(&mut pos, 1)?[0] != 0;
-        let merkle_root: [u8; 32] = take(&mut pos, 32)?.try_into().expect("32 bytes");
-        let mac: [u8; 32] = take(&mut pos, 32)?.try_into().expect("32 bytes");
+        let merkle_root: [u8; 32] = take(&mut pos, 32)?.try_into().expect("32 bytes"); // lint: infallible — see above
+        let mac: [u8; 32] = take(&mut pos, 32)?.try_into().expect("32 bytes"); // lint: infallible — see above
         Ok(DocumentHeader {
             doc_id,
             nonce,

@@ -125,10 +125,12 @@ impl ProtectedRules {
         if bytes.len() < 8 + 16 + 32 + 4 {
             return Err(bad("truncated"));
         }
+        // lint: infallible — the minimum-length check above covers every
+        // fixed-width slice here.
         let version = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
-        let iv: [u8; 16] = bytes[8..24].try_into().expect("16 bytes");
-        let mac: [u8; 32] = bytes[24..56].try_into().expect("32 bytes");
-        let len = u32::from_le_bytes(bytes[56..60].try_into().expect("4 bytes")) as usize;
+        let iv: [u8; 16] = bytes[8..24].try_into().expect("16 bytes"); // lint: infallible — see above
+        let mac: [u8; 32] = bytes[24..56].try_into().expect("32 bytes"); // lint: infallible — see above
+        let len = u32::from_le_bytes(bytes[56..60].try_into().expect("4 bytes")) as usize; // lint: infallible — see above
         let ciphertext = bytes
             .get(60..60 + len)
             .ok_or_else(|| bad("truncated body"))?
@@ -202,10 +204,12 @@ impl KeyProvisioning {
         if bytes.len() < 4 + 16 + 32 + 2 {
             return Err(bad("truncated"));
         }
+        // lint: infallible — the minimum-length check above covers every
+        // fixed-width slice here.
         let key_id = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
-        let iv: [u8; 16] = bytes[4..20].try_into().expect("16 bytes");
-        let mac: [u8; 32] = bytes[20..52].try_into().expect("32 bytes");
-        let len = u16::from_le_bytes(bytes[52..54].try_into().expect("2 bytes")) as usize;
+        let iv: [u8; 16] = bytes[4..20].try_into().expect("16 bytes"); // lint: infallible — see above
+        let mac: [u8; 32] = bytes[20..52].try_into().expect("32 bytes"); // lint: infallible — see above
+        let len = u16::from_le_bytes(bytes[52..54].try_into().expect("2 bytes")) as usize; // lint: infallible — see above
         let wrapped = bytes
             .get(54..54 + len)
             .ok_or_else(|| bad("truncated body"))?

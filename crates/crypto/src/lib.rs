@@ -22,6 +22,8 @@
 //! are not hardened against side channels; they are a faithful functional
 //! substitute for the card's crypto hardware within a research prototype.
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod error;
 pub mod hmac;

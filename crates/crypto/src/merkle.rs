@@ -59,6 +59,8 @@ impl MerkleTree {
         };
         let mut levels = vec![leaves];
         while levels.last().map(Vec::len).unwrap_or(0) > 1 {
+            // lint: infallible — `levels` starts with the leaf level and
+            // only grows.
             let prev = levels.last().expect("at least one level");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
@@ -85,8 +87,11 @@ impl MerkleTree {
         *self
             .levels
             .last()
+            // lint: infallible — construction always pushes the leaf level,
+            // and the loop stops once the top level holds exactly one node.
             .expect("tree has a root")
             .first()
+            // lint: infallible — same construction argument as above.
             .expect("root")
     }
 
@@ -167,6 +172,7 @@ impl MerkleProof {
         if bytes.len() < 9 {
             return Err(err("proof too short"));
         }
+        // lint: infallible — `bytes.len() >= 9` is checked above.
         let leaf_index = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
         let count = bytes[8] as usize;
         let mut siblings = Vec::with_capacity(count);
@@ -178,6 +184,8 @@ impl MerkleProof {
                 .get(pos..pos + DIGEST_SIZE)
                 .ok_or_else(|| err("truncated proof"))?
                 .try_into()
+                // lint: infallible — the checked `get` returns exactly
+                // `DIGEST_SIZE` bytes.
                 .expect("digest size");
             pos += DIGEST_SIZE;
             siblings.push((digest, right));

@@ -60,6 +60,7 @@ pub fn cbc_decrypt(
 pub fn ctr_apply(cipher: &Aes128, nonce: &[u8; BLOCK_SIZE], data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len());
     let mut counter_block = *nonce;
+    // lint: infallible — an 8-byte slice of a `[u8; BLOCK_SIZE]` block.
     let mut counter = u64::from_be_bytes(counter_block[8..16].try_into().expect("8 bytes"));
     for chunk in data.chunks(BLOCK_SIZE) {
         counter_block[8..16].copy_from_slice(&counter.to_be_bytes());

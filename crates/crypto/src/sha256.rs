@@ -107,6 +107,8 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; BLOCK_SIZE]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks(4).enumerate() {
+            // lint: infallible — `chunks(4)` over a 64-byte block yields
+            // exact 4-byte slices.
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
         }
         for i in 16..64 {

@@ -8,7 +8,7 @@
 //! rating) and delivers only the authorized part, in a streaming fashion
 //! compatible with the real-time requirement of the scenario.
 
-use std::sync::Arc;
+use sdds_sync::sync::Arc;
 
 use sdds_core::secdoc::{SecureDocument, SecureDocumentBuilder};
 use sdds_core::skipindex::encode::EncoderConfig;
@@ -72,6 +72,8 @@ impl DisseminationChannel {
     /// item is re-packaged as a standalone single-item document).
     pub fn publish(&mut self, catalog: &Document, item_root: NodeId) -> Arc<StreamItem> {
         let events = catalog.subtree_events(item_root);
+        // lint: infallible — `subtree_events` of a parsed document always
+        // yields a balanced, single-rooted event stream.
         let item_doc = Document::from_events(&events).expect("subtree is well formed");
         let sequence = self.next_sequence;
         self.next_sequence += 1;

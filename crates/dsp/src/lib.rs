@@ -20,6 +20,8 @@
 //!   module docs for the architecture diagram and the knob → paper-experiment
 //!   mapping).
 
+#![forbid(unsafe_code)]
+
 pub mod dissemination;
 pub mod server;
 pub mod service;

@@ -12,7 +12,7 @@
 //! service — it cannot drift from the sharded path because it *is* the sharded
 //! path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sdds_sync::sync::atomic::{AtomicUsize, Ordering};
 
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;

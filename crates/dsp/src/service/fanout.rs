@@ -17,8 +17,8 @@
 //! equal to the number of published items no matter how many subscribers are
 //! attached.
 
+use sdds_sync::sync::Arc;
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 use sdds_crypto::SecretKey;
 use sdds_xml::{Document, NodeId};

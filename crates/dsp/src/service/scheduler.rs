@@ -16,8 +16,10 @@
 //! DspService`]), which is what the E10 multi-client experiment drives.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+
+use sdds_sync::sync::atomic::{AtomicUsize, Ordering};
+use sdds_sync::sync::{Condvar, Mutex, MutexExt};
+use sdds_sync::thread;
 
 /// What a step of a session reports back to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,13 +146,16 @@ impl SessionScheduler {
         let finished: Mutex<Vec<FinishedSession<S>>> = Mutex::new(Vec::new());
         let steps_total = AtomicUsize::new(0);
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| loop {
                     let job = {
-                        let mut q = queue.lock().expect("run queue poisoned");
+                        let mut q = queue.lock_np();
                         loop {
                             if let Some(job) = q.pop_front() {
+                                // ordering: in_flight must be visibly raised
+                                // before the queue lock drops — the exit check
+                                // below reads it under the same lock.
                                 in_flight.fetch_add(1, Ordering::SeqCst);
                                 break Some(job);
                             }
@@ -160,12 +165,17 @@ impl SessionScheduler {
                             // the run is over — checked under the lock so a
                             // concurrent requeue cannot slip between the two
                             // reads and retire this worker while work remains.
+                            // ordering: pairs with the fetch_add/fetch_sub
+                            // around a step; both run under/against the queue
+                            // lock, so SeqCst keeps the exit check exact.
                             if in_flight.load(Ordering::SeqCst) == 0 {
                                 break None;
                             }
                             // Otherwise sleep until a requeue or a retirement
                             // signals (no busy spin while a straggler runs).
-                            q = runnable.wait(q).expect("run queue poisoned");
+                            q = runnable
+                                .wait(q)
+                                .unwrap_or_else(|poisoned| poisoned.into_inner());
                         }
                     };
                     let Some(mut job) = job else {
@@ -179,10 +189,10 @@ impl SessionScheduler {
                     let outcome = job.session.step(self.quantum);
                     match outcome {
                         Ok(StepOutcome::Pending) => {
-                            queue.lock().expect("run queue poisoned").push_back(job);
+                            queue.lock_np().push_back(job);
                         }
                         Ok(StepOutcome::Complete) | Err(_) => {
-                            let mut done = finished.lock().expect("finish list poisoned");
+                            let mut done = finished.lock_np();
                             let completion_order = done.len();
                             done.push(FinishedSession {
                                 index: job.index,
@@ -193,6 +203,9 @@ impl SessionScheduler {
                             });
                         }
                     }
+                    // ordering: requeue/retire above happens-before this
+                    // decrement; a worker that sees 0 under the queue lock
+                    // must also see the requeued job (or its retirement).
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                     // Either a session was requeued (runnable work) or one
                     // retired (the termination condition may now hold): both
@@ -203,7 +216,9 @@ impl SessionScheduler {
         });
 
         ScheduleReport {
-            finished: finished.into_inner().expect("finish list poisoned"),
+            finished: finished
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
             steps_total: steps_total.into_inner(),
         }
     }

@@ -37,10 +37,10 @@
 //! ([`ShardedStore::stats`]), using the same [`ServerStats::merge`] the
 //! single-tenant server tests pin.
 
+use sdds_sync::sync::atomic::{AtomicUsize, Ordering};
+use sdds_sync::sync::{Arc, RwLock, RwLockExt};
 use std::collections::HashMap;
 use std::hash::Hasher;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
 
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;
@@ -230,8 +230,7 @@ impl ShardedStore {
     /// answer means the document is not replicated.
     pub fn replica_shards(&self, doc_id: &str) -> Vec<usize> {
         self.directory
-            .read()
-            .expect("replica directory poisoned")
+            .read_np()
             .get(doc_id)
             .map(|entry| entry.shards.clone())
             .unwrap_or_else(|| vec![self.shard_of(doc_id)])
@@ -247,7 +246,7 @@ impl ShardedStore {
         if self.replicated.load(Ordering::Relaxed) == 0 {
             return self.shard_of(doc_id);
         }
-        let directory = self.directory.read().expect("replica directory poisoned");
+        let directory = self.directory.read_np();
         match directory.get(doc_id) {
             Some(entry) if entry.shards.len() > 1 => {
                 entry.shards[(salt % entry.shards.len() as u64) as usize]
@@ -268,7 +267,7 @@ impl ShardedStore {
         let home = self.shard_of(doc_id);
         let routed = self.route(doc_id, salt);
         if routed != home {
-            let shard = self.shards[routed].read().expect("shard lock poisoned");
+            let shard = self.shards[routed].read_np();
             if let Some(record) = shard.replicas.get(doc_id) {
                 let served = serve(record.as_ref(), &shard.stats);
                 drop(shard);
@@ -276,7 +275,7 @@ impl ShardedStore {
                 return served;
             }
         }
-        let shard = self.shards[home].read().expect("shard lock poisoned");
+        let shard = self.shards[home].read_np();
         let record = shard.store.get(doc_id).ok_or_else(|| CoreError::NotFound {
             doc_id: doc_id.to_owned(),
         })?;
@@ -295,7 +294,7 @@ impl ShardedStore {
         // threshold is at least the first serve.
         let threshold = policy.threshold.max(1);
         let crossed = {
-            let directory = self.directory.read().expect("replica directory poisoned");
+            let directory = self.directory.read_np();
             match directory.get(doc_id) {
                 Some(entry) => {
                     let serves = entry.serves.fetch_add(1, Ordering::Relaxed) + 1;
@@ -303,7 +302,7 @@ impl ShardedStore {
                 }
                 None => {
                     drop(directory);
-                    let mut directory = self.directory.write().expect("replica directory poisoned");
+                    let mut directory = self.directory.write_np();
                     let entry = directory.entry(doc_id.to_owned()).or_insert(ReplicaEntry {
                         shards: vec![self.shard_of(doc_id)],
                         pinned: None,
@@ -315,7 +314,7 @@ impl ShardedStore {
             }
         };
         if crossed {
-            let mut directory = self.directory.write().expect("replica directory poisoned");
+            let mut directory = self.directory.write_np();
             // Re-validate under the write lock: between the crossing and
             // here, a pin may have installed its own (authoritative) layout,
             // or a republish may have reset the serve count — in either case
@@ -352,7 +351,7 @@ impl ShardedStore {
         let copies = copies.clamp(1, self.shards.len());
         let home = self.shard_of(doc_id);
         let record = {
-            let shard = self.shards[home].read().expect("shard lock poisoned");
+            let shard = self.shards[home].read_np();
             match shard.store.get(doc_id) {
                 Some(record) => Arc::new(record.clone()),
                 None => return,
@@ -362,8 +361,7 @@ impl ShardedStore {
         for offset in 1..copies {
             let target = (home + offset) % self.shards.len();
             self.shards[target]
-                .write()
-                .expect("shard lock poisoned")
+                .write_np()
                 .replicas
                 .insert(doc_id.to_owned(), Arc::clone(&record));
             shards.push(target);
@@ -389,11 +387,7 @@ impl ShardedStore {
     ) -> Option<usize> {
         let entry = directory.get_mut(doc_id)?;
         for &shard in entry.shards.iter().skip(1) {
-            self.shards[shard]
-                .write()
-                .expect("shard lock poisoned")
-                .replicas
-                .remove(doc_id);
+            self.shards[shard].write_np().replicas.remove(doc_id);
         }
         if entry.shards.len() > 1 {
             self.replicated.fetch_sub(1, Ordering::Relaxed);
@@ -412,13 +406,12 @@ impl ShardedStore {
                 doc_id: doc_id.to_owned(),
             });
         }
-        let mut directory = self.directory.write().expect("replica directory poisoned");
+        let mut directory = self.directory.write_np();
         self.invalidate_locked(&mut directory, doc_id);
         self.replicate_locked(&mut directory, doc_id, copies);
-        directory
-            .get_mut(doc_id)
-            .expect("replicate_locked inserts the entry")
-            .pinned = Some(copies);
+        if let Some(entry) = directory.get_mut(doc_id) {
+            entry.pinned = Some(copies);
+        }
         Ok(())
     }
 
@@ -437,19 +430,17 @@ impl ShardedStore {
     /// revision the home shard has abandoned.
     pub fn put_document_with(&self, document: SecureDocument, clear_rules_on_replace: bool) {
         let doc_id = document.header.doc_id.clone();
-        let mut directory = self.directory.write().expect("replica directory poisoned");
+        let mut directory = self.directory.write_np();
         let pinned = self.invalidate_locked(&mut directory, &doc_id);
         self.shards[self.shard_of(&doc_id)]
-            .write()
-            .expect("shard lock poisoned")
+            .write_np()
             .store
             .put_document_with(document, clear_rules_on_replace);
         if let Some(copies) = pinned {
             self.replicate_locked(&mut directory, &doc_id, copies);
-            directory
-                .get_mut(&doc_id)
-                .expect("replicate_locked inserts the entry")
-                .pinned = Some(copies);
+            if let Some(entry) = directory.get_mut(&doc_id) {
+                entry.pinned = Some(copies);
+            }
         }
     }
 
@@ -462,20 +453,14 @@ impl ShardedStore {
         subject: &str,
         rules: &ProtectedRules,
     ) -> Result<(), CoreError> {
-        let directory = self.directory.read().expect("replica directory poisoned");
+        let directory = self.directory.read_np();
         self.shards[self.shard_of(doc_id)]
-            .write()
-            .expect("shard lock poisoned")
+            .write_np()
             .store
             .put_rules(doc_id, subject, rules)?;
         if let Some(entry) = directory.get(doc_id) {
             for &shard in entry.shards.iter().skip(1) {
-                if let Some(record) = self.shards[shard]
-                    .write()
-                    .expect("shard lock poisoned")
-                    .replicas
-                    .get_mut(doc_id)
-                {
+                if let Some(record) = self.shards[shard].write_np().replicas.get_mut(doc_id) {
                     // Clones share one allocation until a sync diverges them;
                     // `make_mut` copies-on-write for this shard only.
                     Arc::make_mut(record)
@@ -556,7 +541,7 @@ impl ShardedStore {
     pub fn stats(&self) -> ServerStats {
         let mut merged = ServerStats::default();
         for shard in &self.shards {
-            merged.merge(&shard.read().expect("shard lock poisoned").stats.snapshot());
+            merged.merge(&shard.read_np().stats.snapshot());
         }
         merged
     }
@@ -566,22 +551,21 @@ impl ShardedStore {
     pub fn shard_stats(&self) -> Vec<ServerStats> {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").stats.snapshot())
+            .map(|s| s.read_np().stats.snapshot())
             .collect()
     }
 
     /// Resets the statistics of every shard.
     pub fn reset_stats(&self) {
         for shard in &self.shards {
-            shard.write().expect("shard lock poisoned").stats.reset();
+            shard.write_np().stats.reset();
         }
     }
 
     /// Upload revision of `doc_id` (`None` when the document is not stored).
     pub fn revision(&self, doc_id: &str) -> Option<u64> {
         self.shards[self.shard_of(doc_id)]
-            .read()
-            .expect("shard lock poisoned")
+            .read_np()
             .store
             .get(doc_id)
             .map(|record| record.revision)
@@ -598,7 +582,7 @@ impl ShardedStore {
         let mut ids: Vec<String> = self
             .shards
             .iter()
-            .flat_map(|s| s.read().expect("shard lock poisoned").store.document_ids())
+            .flat_map(|s| s.read_np().store.document_ids())
             .collect();
         ids.sort();
         ids
@@ -606,10 +590,7 @@ impl ShardedStore {
 
     /// Number of stored documents, across shards (replicas not counted).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned").store.len())
-            .sum()
+        self.shards.iter().map(|s| s.read_np().store.len()).sum()
     }
 
     /// True when no shard stores any document.
@@ -621,7 +602,7 @@ impl ShardedStore {
     pub fn stored_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").store.stored_bytes())
+            .map(|s| s.read_np().store.stored_bytes())
             .sum()
     }
 }

@@ -1,0 +1,631 @@
+#![forbid(unsafe_code)]
+//! `sdds-lint` — a token-level scanner enforcing the concurrency discipline
+//! the `sdds-check` model checker assumes, with no dependencies outside
+//! `std` and no syn-style parsing: comments and string literals are blanked
+//! out, `#[cfg(test)]` regions are masked by brace matching, and the rules
+//! run over what remains.
+//!
+//! Rules (see [`Rule`]):
+//!
+//! - **std-sync** — service crates (`sdds-dsp`, `sdds-proxy`) and the facade
+//!   must import synchronization from `sdds-sync`, never `std::sync` /
+//!   `std::thread`; otherwise the model-check build silently stops
+//!   instrumenting them.
+//! - **ordering** — every non-`Relaxed` atomic `Ordering::…` must carry a
+//!   `// ordering:` justification comment on the same or preceding line.
+//! - **no-panic** — no `unwrap` / `expect` / `panic!` / `unreachable!` in
+//!   non-test library code; `// lint: infallible` (with a reason) is the
+//!   escape hatch.
+//! - **no-sleep** — no `sleep(…)` in service code: sleeping hides ordering
+//!   bugs and the model checker turns it into a plain yield anyway.
+//! - **forbid-unsafe** — every first-party crate root carries
+//!   `#![forbid(unsafe_code)]`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which rule a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Direct `std::sync` / `std::thread` use in facade-routed code.
+    StdSync,
+    /// Non-`Relaxed` atomic ordering without a `// ordering:` justification.
+    Ordering,
+    /// `unwrap` / `expect` / `panic!` / `unreachable!` in library code.
+    NoPanic,
+    /// `sleep(…)` in service code.
+    NoSleep,
+    /// Missing `#![forbid(unsafe_code)]` on a crate root.
+    ForbidUnsafe,
+}
+
+impl Rule {
+    /// Stable rule name, as printed in violation reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::StdSync => "std-sync",
+            Rule::Ordering => "ordering",
+            Rule::NoPanic => "no-panic",
+            Rule::NoSleep => "no-sleep",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// File the violation is in (as passed to the scanner).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule violated.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file (derived from its path by the
+/// binary; explicit here so the library is testable without a filesystem).
+#[derive(Debug, Clone, Copy)]
+pub struct FileRules {
+    /// Enforce the `sdds-sync` facade (no `std::sync` / `std::thread`).
+    pub facade: bool,
+    /// Forbid `sleep(…)`.
+    pub no_sleep: bool,
+    /// Forbid `unwrap` / `expect` / `panic!` / `unreachable!`.
+    pub no_panic: bool,
+    /// Require `// ordering:` justifications.
+    pub ordering: bool,
+    /// Require `#![forbid(unsafe_code)]` (crate roots only).
+    pub forbid_unsafe: bool,
+}
+
+/// A source file ready to scan: raw text plus derived views.
+struct Source<'a> {
+    raw_lines: Vec<&'a str>,
+    /// Source with comments and string/char literals blanked to spaces
+    /// (newlines preserved, so offsets and line numbers match `raw`).
+    code: String,
+    /// Byte offsets (into `code`) covered by `#[cfg(test)]` items.
+    test_mask: Vec<(usize, usize)>,
+}
+
+/// Blanks comments and string/char literals, preserving newlines and byte
+/// offsets. Token-level rules then cannot be fooled by `"std::sync"` in a
+/// string or an `unwrap()` in a doc example.
+fn blank_noncode(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            St::Code => match b {
+                b'/' if next == Some(b'/') => {
+                    st = St::Line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'/' if next == Some(b'*') => {
+                    st = St::Block(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Str;
+                    out.push(b' ');
+                }
+                b'r' if matches!(next, Some(b'"') | Some(b'#')) && !prev_is_ident(&out) => {
+                    // Raw string r"…" / r#"…"# — count the hashes.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(b);
+                }
+                b'\'' => {
+                    // Only a literal if it closes: 'x' or '\x'. A lifetime
+                    // ('a) has no closing quote within a couple of bytes.
+                    let close = if next == Some(b'\\') {
+                        // Escaped char: find the next quote.
+                        bytes[i + 2..].iter().take(8).position(|&c| c == b'\'')
+                    } else if bytes.get(i + 2) == Some(&b'\'') {
+                        Some(0)
+                    } else {
+                        None
+                    };
+                    if close.is_some() {
+                        st = St::Char;
+                    }
+                    out.push(b' ');
+                }
+                _ => out.push(b),
+            },
+            St::Line => {
+                if b == b'\n' {
+                    st = St::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+            }
+            St::Block(depth) => {
+                if b == b'*' && next == Some(b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && next == Some(b'*') {
+                    st = St::Block(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                out.push(if b == b'\n' { b'\n' } else { b' ' });
+            }
+            St::Str => match b {
+                b'\\' => {
+                    // Keep the newline of a `\`-line-continuation: blanking
+                    // must never shift line numbers.
+                    out.push(b' ');
+                    out.push(if next == Some(b'\n') { b'\n' } else { b' ' });
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Code;
+                    out.push(b' ');
+                }
+                _ => out.push(if b == b'\n' { b'\n' } else { b' ' }),
+            },
+            St::RawStr(hashes) => {
+                if b == b'"'
+                    && bytes[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&c| c == b'#')
+                        .count()
+                        == hashes
+                {
+                    st = St::Code;
+                    out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                    i += 1 + hashes;
+                    continue;
+                }
+                out.push(if b == b'\n' { b'\n' } else { b' ' });
+            }
+            St::Char => match b {
+                b'\\' => {
+                    out.push(b' ');
+                    out.push(if next == Some(b'\n') { b'\n' } else { b' ' });
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    st = St::Code;
+                    out.push(b' ');
+                }
+                _ => out.push(b' '),
+            },
+        }
+        i += 1;
+    }
+    // Blanking writes one byte per input byte (ASCII spaces/newlines or the
+    // original byte), so the result is valid UTF-8 iff the input was.
+    String::from_utf8(out).unwrap_or_default() // lint: infallible — output bytes are input bytes or ASCII
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Computes byte ranges covered by `#[cfg(test)]` items in blanked code: the
+/// attribute plus the braced block (or terminating `;`) that follows it.
+fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(at) = code[from..].find("#[cfg(test)]") {
+        let start = from + at;
+        let mut i = start + "#[cfg(test)]".len();
+        // Find the end of the gated item: first `;` at depth 0 or the
+        // matching close of the first `{`.
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push((start, end));
+        from = end.max(start + 1);
+    }
+    regions
+}
+
+impl<'a> Source<'a> {
+    fn new(raw: &'a str) -> Self {
+        let code = blank_noncode(raw);
+        let test_mask = test_regions(&code);
+        Source {
+            raw_lines: raw.lines().collect(),
+            code,
+            test_mask,
+        }
+    }
+
+    fn in_test(&self, offset: usize) -> bool {
+        self.test_mask
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    fn line_of(&self, offset: usize) -> usize {
+        self.code[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+    }
+
+    /// True when `marker` appears in the raw text of `line` or the line
+    /// before it (1-based) — the escape-hatch comment convention.
+    fn escaped(&self, line: usize, marker: &str) -> bool {
+        let here = self.raw_lines.get(line - 1).copied().unwrap_or("");
+        if here.contains(marker) {
+            return true;
+        }
+        // Justifications often wrap onto several lines: walk upward through
+        // the contiguous `//` comment block directly above the use.
+        let mut i = line - 1;
+        while i >= 1 {
+            let above = self.raw_lines[i - 1];
+            if !above.trim_start().starts_with("//") {
+                break;
+            }
+            if above.contains(marker) {
+                return true;
+            }
+            i -= 1;
+        }
+        false
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds `needle` in `code` at token boundaries (not inside an identifier).
+fn token_positions(code: &str, needle: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let nb = needle.as_bytes();
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(needle) {
+        let start = from + at;
+        let end = start + nb.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            found.push(start);
+        }
+        from = start + 1;
+    }
+    found
+}
+
+/// True when the first non-whitespace byte after `offset + token` is `what`.
+fn followed_by(code: &str, offset: usize, token: &str, what: u8) -> bool {
+    code.as_bytes()[offset + token.len()..]
+        .iter()
+        .find(|b| !b.is_ascii_whitespace())
+        == Some(&what)
+}
+
+/// Scans one file's contents under the given rule set.
+pub fn scan_file(path: &Path, contents: &str, rules: FileRules) -> Vec<Violation> {
+    let src = Source::new(contents);
+    let mut out = Vec::new();
+    let mut push = |line: usize, rule: Rule, message: String| {
+        out.push(Violation {
+            file: path.to_path_buf(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    if rules.forbid_unsafe && !contents.contains("#![forbid(unsafe_code)]") {
+        push(
+            1,
+            Rule::ForbidUnsafe,
+            "crate root is missing #![forbid(unsafe_code)]".to_owned(),
+        );
+    }
+
+    if rules.facade {
+        for needle in ["std::sync", "std::thread"] {
+            for at in token_positions(&src.code, needle) {
+                if src.in_test(at) {
+                    continue;
+                }
+                let line = src.line_of(at);
+                push(
+                    line,
+                    Rule::StdSync,
+                    format!("direct `{needle}` use; route through sdds-sync so the model checker can instrument it"),
+                );
+            }
+        }
+    }
+
+    if rules.no_sleep {
+        for at in token_positions(&src.code, "sleep") {
+            if src.in_test(at) || !followed_by(&src.code, at, "sleep", b'(') {
+                continue;
+            }
+            let line = src.line_of(at);
+            push(
+                line,
+                Rule::NoSleep,
+                "sleep() in service code: use condvars/channels; sleeping hides ordering bugs"
+                    .to_owned(),
+            );
+        }
+    }
+
+    if rules.no_panic {
+        for (needle, call_like) in [
+            ("unwrap", true),
+            ("expect", true),
+            ("panic!", false),
+            ("unreachable!", false),
+        ] {
+            let (token, suffix) = if call_like {
+                (needle, b'(')
+            } else {
+                (needle.trim_end_matches('!'), b'!')
+            };
+            for at in token_positions(&src.code, token) {
+                if src.in_test(at) || !followed_by(&src.code, at, token, suffix) {
+                    continue;
+                }
+                let line = src.line_of(at);
+                if src.escaped(line, "// lint: infallible") {
+                    continue;
+                }
+                push(
+                    line,
+                    Rule::NoPanic,
+                    format!(
+                        "`{needle}` in library code: return a typed error, or justify with `// lint: infallible — <reason>`"
+                    ),
+                );
+            }
+        }
+    }
+
+    if rules.ordering {
+        for variant in ["Acquire", "Release", "AcqRel", "SeqCst"] {
+            let needle = format!("Ordering::{variant}");
+            for at in token_positions(&src.code, &needle) {
+                if src.in_test(at) {
+                    continue;
+                }
+                let line = src.line_of(at);
+                if src.escaped(line, "// ordering:") {
+                    continue;
+                }
+                push(
+                    line,
+                    Rule::Ordering,
+                    format!(
+                        "`{needle}` without a `// ordering:` justification (Relaxed needs none)"
+                    ),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: FileRules = FileRules {
+        facade: true,
+        no_sleep: true,
+        no_panic: true,
+        ordering: true,
+        forbid_unsafe: false,
+    };
+
+    fn scan(contents: &str) -> Vec<Violation> {
+        scan_file(Path::new("x.rs"), contents, ALL)
+    }
+
+    #[test]
+    fn blanks_strings_and_comments() {
+        let v = scan("// std::sync in a comment\nfn f() { let _ = \"std::sync\"; }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_std_sync_import() {
+        let v = scan("use std::sync::Mutex;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::StdSync);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn flags_inline_std_thread_path() {
+        let v = scan("fn f() { std::thread::spawn(|| {}); }\n");
+        assert!(v.iter().any(|v| v.rule == Rule::StdSync));
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let v = scan(
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    fn g() { None::<u8>.unwrap(); }\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_use_item_is_exempt() {
+        let v = scan("#[cfg(test)]\nuse std::sync::Mutex;\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_unwrap_and_honours_escape() {
+        let v = scan("fn f(x: Option<u8>) { x.unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoPanic);
+
+        let v = scan("fn f(x: Option<u8>) {\n    // lint: infallible — x checked above\n    x.unwrap();\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let v = scan("fn f(x: Option<u8>) { x.unwrap_or_else(|| 0); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_panic_macro() {
+        let v = scan("fn f() { panic!(\"boom\"); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoPanic);
+    }
+
+    #[test]
+    fn ordering_needs_justification_unless_relaxed() {
+        let v = scan("fn f() { x.load(Ordering::SeqCst); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Ordering);
+
+        let v = scan("fn f() { x.load(Ordering::Relaxed); }\n");
+        assert!(v.is_empty(), "{v:?}");
+
+        let v = scan(
+            "fn f() { x.load(Ordering::SeqCst); // ordering: pairs with release store in g()\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_sleep_call() {
+        let v = scan("fn f() { thread::sleep(d); }\n");
+        assert!(v.iter().any(|v| v.rule == Rule::NoSleep));
+
+        // `sleep` as part of another identifier is fine.
+        let v = scan("fn f() { no_sleep_here(); }\n");
+        assert!(v.iter().all(|v| v.rule != Rule::NoSleep));
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_reported() {
+        let rules = FileRules {
+            forbid_unsafe: true,
+            ..ALL
+        };
+        let v = scan_file(Path::new("lib.rs"), "pub fn f() {}\n", rules);
+        assert!(v.iter().any(|v| v.rule == Rule::ForbidUnsafe));
+
+        let v = scan_file(
+            Path::new("lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            rules,
+        );
+        assert!(v.iter().all(|v| v.rule != Rule::ForbidUnsafe));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let v = scan("fn f() { let _ = r#\"std::sync unwrap( \"#; }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        // If 'a opened a literal, the rest of the file would be blanked and
+        // the unwrap would go unseen.
+        let v = scan("fn f<'a>(x: &'a Option<u8>) { x.unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoPanic);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        // A `\`-escaped newline inside a string must survive blanking:
+        // otherwise every later violation is reported on the wrong line and
+        // escape comments stop lining up.
+        let v = scan("fn f(x: Option<u8>) {\n    let _s = \"a\\\nb\\\nc\";\n    x.unwrap();\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5, "{v:?}");
+    }
+
+    #[test]
+    fn escape_comment_covers_a_wrapped_justification() {
+        let v = scan(
+            "fn f(x: Option<u8>) {\n    // lint: infallible — a justification that\n    // wraps onto a second line.\n    x.unwrap();\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,121 @@
+#![forbid(unsafe_code)]
+//! Workspace driver for the `sdds-lint` rules: walks the first-party crates,
+//! applies the rule set that matches each file's path, prints violations in
+//! `file:line: [rule] message` form, and exits non-zero if any were found.
+//!
+//! Run from anywhere in the workspace: `cargo run -p sdds-lint`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use sdds_lint::{scan_file, FileRules, Violation};
+
+/// First-party crate directories, relative to the workspace root. Vendored
+/// crates (`vendor/`) are deliberately out of scope.
+const CRATES: &[&str] = &[
+    "crates/core",
+    "crates/card",
+    "crates/crypto",
+    "crates/xml",
+    "crates/xpath",
+    "crates/dsp",
+    "crates/proxy",
+    "crates/bench",
+    "crates/sync",
+    "crates/check",
+    "crates/lint",
+    ".",
+];
+
+/// Crates whose library code must route synchronization through `sdds-sync`
+/// and never sleep: the serving core the model checker instruments, plus the
+/// facade crate that drives it.
+const FACADE_CRATES: &[&str] = &["crates/dsp", "crates/proxy", "."];
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rules_for(crate_dir: &str, path: &Path) -> FileRules {
+    let is_facade_scope = FACADE_CRATES.contains(&crate_dir);
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    // The no-panic rule covers *library* code; binaries under src/bin may
+    // abort on startup or I/O errors like any CLI tool.
+    let is_bin = path
+        .components()
+        .any(|c| c.as_os_str().to_str() == Some("bin"));
+    FileRules {
+        facade: is_facade_scope,
+        no_sleep: is_facade_scope,
+        no_panic: !is_bin,
+        ordering: true,
+        // lib.rs is always a crate root; main.rs is the root of a bin crate.
+        forbid_unsafe: name == "lib.rs" || name == "main.rs",
+    }
+}
+
+fn run() -> Result<Vec<Violation>, String> {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for crate_dir in CRATES {
+        let src = root.join(crate_dir).join("src");
+        if !src.is_dir() {
+            return Err(format!("missing source directory: {}", src.display()));
+        }
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files).map_err(|e| format!("walking {}: {e}", src.display()))?;
+        for file in files {
+            let contents = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let shown = file.strip_prefix(&root).unwrap_or(&file);
+            violations.extend(scan_file(shown, &contents, rules_for(crate_dir, &file)));
+            scanned += 1;
+        }
+    }
+    eprintln!(
+        "sdds-lint: scanned {scanned} files across {} crates, {} violation(s)",
+        CRATES.len(),
+        violations.len()
+    );
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Err(error) => {
+            eprintln!("sdds-lint: error: {error}");
+            ExitCode::from(2)
+        }
+        Ok(violations) if violations.is_empty() => ExitCode::SUCCESS,
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

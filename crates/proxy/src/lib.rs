@@ -20,6 +20,8 @@
 //! and a `DspService` handle around these primitives; the demo applications
 //! live there too (`sdds::apps`).
 
+#![forbid(unsafe_code)]
+
 pub mod pki;
 pub mod proxy;
 pub mod session;

@@ -176,6 +176,10 @@ impl Terminal {
             let next = self
                 .runtime
                 .exchange_expect_ok(&Apdu::simple(ins::NEXT_REQUEST, 0, 0))?;
+            if next.len() != 4 {
+                return Err(ProxyError::Protocol("bad NEXT_REQUEST response".into()));
+            }
+            // lint: infallible — the length is checked to be exactly 4 above.
             let index = u32::from_le_bytes(next[..4].try_into().expect("4 bytes"));
             if index == u32::MAX {
                 break;

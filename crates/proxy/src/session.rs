@@ -22,7 +22,7 @@
 //!   batch rather than once per fragment, which is what makes the simulated
 //!   per-session latency of E10 reflect batched fan-out serving.
 
-use std::sync::Arc;
+use sdds_sync::sync::Arc;
 use std::time::Duration;
 
 use sdds_card::apdu::{ins, Apdu};
@@ -155,6 +155,8 @@ impl CardSession {
                 }
             }
         }
+        // lint: infallible — the loop above only breaks on `Complete`, and
+        // the completing step stores the view before reporting `Complete`.
         Ok(self.view.as_deref().expect("complete session has a view"))
     }
 
@@ -162,6 +164,7 @@ impl CardSession {
     /// it and returning the view.
     pub fn run_to_completion(mut self) -> Result<String, ProxyError> {
         self.run()?;
+        // lint: infallible — `run` returned `Ok`, so the view is stored.
         Ok(self.view.expect("complete session has a view"))
     }
 
@@ -196,6 +199,8 @@ impl CardSession {
             let Some(index) = self.terminal.next_chunk_request()? else {
                 return Ok(true);
             };
+            // lint: infallible — `start` pins the revision before entering
+            // the `Streaming` phase that calls `stream`.
             let revision = self.revision.expect("streaming session pinned at start");
             let (chunk, proof) = self
                 .service
@@ -303,6 +308,7 @@ impl Terminal {
         if next.len() != 4 {
             return Err(ProxyError::Protocol("bad NEXT_REQUEST response".into()));
         }
+        // lint: infallible — the length is checked to be exactly 4 above.
         let index = u32::from_le_bytes(next[..4].try_into().expect("4 bytes"));
         Ok((index != u32::MAX).then_some(index))
     }

@@ -1,0 +1,121 @@
+#![forbid(unsafe_code)]
+//! `sdds-sync` — the one place SDDS service code gets its synchronization
+//! primitives from.
+//!
+//! Concurrent library code in `sdds-dsp` / `sdds-proxy` imports
+//! [`sync`] / [`thread`] from this crate instead of `std` (enforced by
+//! `sdds-lint`). In a normal build the modules re-export the `std` types
+//! unchanged — zero cost, zero behaviour change. Under `--cfg sdds_check`
+//! (set via `RUSTFLAGS` by the model-check CI step) they re-export the
+//! `sdds-check` shims instead, so the *same* production sources run under
+//! the bounded-exhaustive interleaving checker without being forked.
+//!
+//! The crate also carries the poison-free locking extensions
+//! ([`sync::MutexExt`], [`sync::RwLockExt`]) that let library code acquire locks without
+//! `unwrap`/`expect` (banned by `sdds-lint` outside tests): the workspace
+//! forbids panicking in library code, so a poisoned lock can only result
+//! from a panic injected by *caller* code unwinding through a callback —
+//! recovering the guard keeps the service serving instead of cascading the
+//! caller's panic through every thread that touches the lock.
+
+/// `std::sync` surface (or the `sdds-check` shims under `--cfg sdds_check`).
+pub mod sync {
+    #[cfg(not(sdds_check))]
+    pub use std::sync::{
+        Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    };
+
+    #[cfg(sdds_check)]
+    pub use sdds_check::shim::sync::{
+        Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    };
+
+    /// Atomic types (or the `sdds-check` shims under `--cfg sdds_check`).
+    pub mod atomic {
+        #[cfg(not(sdds_check))]
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+        #[cfg(sdds_check)]
+        pub use sdds_check::shim::atomic::{
+            AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+
+    /// Acquires a `Mutex` without panicking on poison.
+    pub trait MutexExt<T> {
+        /// Locks, recovering the guard if a previous holder panicked.
+        fn lock_np(&self) -> MutexGuard<'_, T>;
+    }
+
+    impl<T> MutexExt<T> for Mutex<T> {
+        fn lock_np(&self) -> MutexGuard<'_, T> {
+            self.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+    }
+
+    /// Acquires an `RwLock` without panicking on poison.
+    pub trait RwLockExt<T> {
+        /// Read-locks, recovering the guard if a previous holder panicked.
+        fn read_np(&self) -> RwLockReadGuard<'_, T>;
+        /// Write-locks, recovering the guard if a previous holder panicked.
+        fn write_np(&self) -> RwLockWriteGuard<'_, T>;
+    }
+
+    impl<T> RwLockExt<T> for RwLock<T> {
+        fn read_np(&self) -> RwLockReadGuard<'_, T> {
+            self.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+
+        fn write_np(&self) -> RwLockWriteGuard<'_, T> {
+            self.write()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+    }
+}
+
+/// `std::thread` surface (or the `sdds-check` shims under `--cfg sdds_check`).
+pub mod thread {
+    #[cfg(not(sdds_check))]
+    pub use std::thread::{scope, sleep, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+
+    #[cfg(sdds_check)]
+    pub use sdds_check::shim::thread::{
+        scope, sleep, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Condvar, Mutex, MutexExt, RwLock, RwLockExt};
+    use super::thread;
+
+    #[test]
+    fn np_locking_round_trips() {
+        let m = Mutex::new(7u32);
+        *m.lock_np() += 1;
+        assert_eq!(*m.lock_np(), 8);
+
+        let rw = RwLock::new(vec![1, 2]);
+        rw.write_np().push(3);
+        assert_eq!(rw.read_np().len(), 3);
+    }
+
+    #[test]
+    fn facade_threads_and_condvars_work() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                *m.lock_np() = true;
+                cv.notify_all();
+            });
+            let mut ready = m.lock_np();
+            while !*ready {
+                ready = cv
+                    .wait(ready)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        });
+        assert!(*m.lock_np());
+    }
+}

@@ -19,6 +19,8 @@
 //!   evaluator's dispatch automaton (one hash lookup per token instead of one
 //!   string comparison per rule).
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod event;
 pub mod generator;

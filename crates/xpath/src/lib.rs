@@ -14,6 +14,8 @@
 //! * [`tagset`] — static analysis of a path against a tag vocabulary, used by
 //!   the skip index to discard rules that cannot apply inside a subtree.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod error;
 pub mod eval;

@@ -19,8 +19,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> sdds-lint (workspace concurrency + panic hygiene)"
+cargo run -q -p sdds-lint
+
 echo "==> cargo test -q (SDDS_PROP_CASES=256)"
 SDDS_PROP_CASES=256 cargo test -q
+
+echo "==> model check (--cfg sdds_check, SDDS_CHECK_BRANCHES=${SDDS_CHECK_BRANCHES:-60000})"
+# The instrumented build swaps sdds-sync onto the sdds-check shims, so the
+# invariant models explore real service interleavings. A separate target dir
+# keeps the differently-flagged artifacts from thrashing the main cache.
+CARGO_TARGET_DIR=target/check RUSTFLAGS="--cfg sdds_check" \
+    SDDS_CHECK_BRANCHES="${SDDS_CHECK_BRANCHES:-60000}" \
+    cargo test -q -p sdds-check
 
 echo "==> concurrent-read property test (SDDS_PROP_CASES=512)"
 # The readers-vs-republisher race deserves a deeper soak than the default

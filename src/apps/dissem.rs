@@ -67,6 +67,8 @@ impl DisseminationApp {
         let publisher = Publisher::builder(community_secret)
             .rules(subscriber_rules)
             .build()
+            // lint: infallible — the builder only errors on an explicit
+            // out-of-range shard count, which this path never sets.
             .expect("the dissemination publisher configuration is valid");
         let mut channel = DisseminationChannel::new("broadcast", publisher.server().document_key());
         channel.publish_all(stream_doc);

@@ -18,8 +18,8 @@
 //! path ([`Client::authorized_view`], APDUs and all) and the incremental
 //! event iterator ([`Client::open_stream`] → [`ViewStream`]).
 
+use sdds_sync::sync::{Arc, Mutex, MutexExt};
 use std::collections::BTreeSet;
-use std::sync::{Arc, Mutex};
 
 use sdds_card::CardProfile;
 use sdds_core::engine::{EngineConfig, SecureEvaluationSession, DEFAULT_DOC_KEY_ID, RULES_KEY_ID};
@@ -156,6 +156,8 @@ impl Publisher {
         Publisher::builder(community_secret)
             .rules(rules)
             .build()
+            // lint: infallible — the builder only errors on an explicit
+            // out-of-range shard count, which this path never sets.
             .expect("the default publisher configuration is valid")
     }
 
@@ -199,13 +201,7 @@ impl Publisher {
             .into_iter()
             .map(|s| s.name().to_owned())
             .collect();
-        names.extend(
-            self.known_subjects
-                .lock()
-                .expect("subject set poisoned")
-                .iter()
-                .cloned(),
-        );
+        names.extend(self.known_subjects.lock_np().iter().cloned());
         names.into_iter().map(Subject::new).collect()
     }
 
@@ -289,8 +285,7 @@ impl Publisher {
     fn register(&self, subject: &Subject, service: &Arc<DspService>) -> Result<(), SddsError> {
         let newly_known = self
             .known_subjects
-            .lock()
-            .expect("subject set poisoned")
+            .lock_np()
             .insert(subject.name().to_owned());
         // On the publisher's own service the blobs of already-known subjects
         // are kept current by `publish` and `sync_rules`: nothing to redo.

@@ -53,6 +53,8 @@
 //! facade does not cover: the raw SOE engine, the card emulator, the crypto
 //! substrate, the benches.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 mod client;
 mod error;

@@ -10,8 +10,8 @@
 //! irrelevant are never transferred, and the application's memory stays
 //! bounded by what it keeps, not by the document.
 
+use sdds_sync::sync::Arc;
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 use sdds_core::engine::{SecureEvaluationSession, SessionRequest, SessionStats};
 use sdds_dsp::DspService;
@@ -99,9 +99,12 @@ impl ViewStream {
     /// Serves exactly one SOE request (one chunk fetch + supply). `Ok(true)`
     /// when the document is fully processed.
     fn advance(&mut self) -> Result<bool, SddsError> {
+        // lint: infallible — `advance` is only called while `next` holds an
+        // open session (it is re-opened before every call that needs one).
         let session = self.session.as_mut().expect("advance requires a session");
         match session.next_request() {
             SessionRequest::Done => {
+                // lint: infallible — checked as `Some` at the top of `advance`.
                 let session = self.session.take().expect("session present");
                 let (rest, stats) = session.finish()?;
                 self.buffer.extend(rest);
