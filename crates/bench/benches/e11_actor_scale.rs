@@ -1,0 +1,25 @@
+//! E11 — actor engine vs thread scheduler at 1k–100k sessions. The wall time
+//! measured here is the *functional* cost of really running both engines
+//! (mailboxes, work stealing, the FIFO run queue); the scaling claims of E11
+//! live on the deterministic simulated clock and are reported by the harness
+//! (`e11.sessions_*` keys) and pinned by `tests/actor_equivalence.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdds_bench::workloads::{actor_scale, ActorScaleConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_actor_scale");
+    group.sample_size(10);
+    for sessions in [1_000usize, 10_000] {
+        group.bench_function(format!("both_engines_sessions_{sessions}"), |b| {
+            b.iter(|| {
+                let outcome = actor_scale(ActorScaleConfig::new(sessions));
+                outcome.speedup()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

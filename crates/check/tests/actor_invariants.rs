@@ -1,0 +1,152 @@
+//! Model-checked invariants of the actor engine's park/unpark protocol.
+//!
+//! The engine (`sdds_dsp::actors`) is built entirely on `sdds-sync`
+//! primitives, so in a normal build these tests are concurrency smoke tests,
+//! and under `RUSTFLAGS="--cfg sdds_check"` (the `scripts/ci.sh` model-check
+//! step) the *same* sources run on the shim primitives and the scheduler
+//! explores interleavings of the send/park hand-off up to the branch budget.
+//!
+//! Two invariants:
+//!
+//! 1. **No lost wakeup.** A send and the dispatching worker's park decision
+//!    race on purpose; whatever the interleaving, every sent event is
+//!    delivered and the actor completes — a lost wakeup would leave the run
+//!    deadlocked (the model checker reports it) or the actor unretired.
+//! 2. **No double-step.** An actor's id sits in at most one run queue, so no
+//!    dispatch can find an empty mailbox (the probe fails the run from
+//!    inside if an event-less dispatch or a duplicate delivery reaches it).
+//!
+//! Like the thread scheduler's worker-race test, these scenarios have
+//! condvar wait/recheck loops that do not exhaust under a loom-lite without
+//! DPOR, so they run as bounded soaks: the whole branch budget is spent and
+//! every explored schedule must uphold the invariant (`SDDS_CHECK_BRANCHES`
+//! widens the CI soak).
+
+use sdds_check::Model;
+use sdds_dsp::actors::{ActorEngine, ActorSession, ActorStatus};
+
+fn model() -> Model {
+    // `Model::new()` honours SDDS_CHECK_BRANCHES / SDDS_CHECK_PREEMPTIONS,
+    // so the CI soak can widen the search without touching the tests.
+    Model::new()
+}
+
+/// Fails the run from inside on any protocol violation a dispatch can
+/// observe: duplicate event delivery, delivery after completion, or an
+/// event-less dispatch (the double-step signature).
+struct Probe {
+    expected: usize,
+    seen: Vec<u64>,
+}
+
+impl Probe {
+    fn new(expected: usize) -> Self {
+        Probe {
+            expected,
+            seen: Vec::new(),
+        }
+    }
+}
+
+impl ActorSession for Probe {
+    type Event = u64;
+
+    fn on_event(&mut self, event: u64) -> Result<ActorStatus, String> {
+        if self.seen.contains(&event) {
+            return Err(format!("event {event} delivered twice"));
+        }
+        if self.seen.len() >= self.expected {
+            return Err(format!("event {event} delivered after completion"));
+        }
+        self.seen.push(event);
+        Ok(if self.seen.len() == self.expected {
+            ActorStatus::Complete
+        } else {
+            ActorStatus::Parked
+        })
+    }
+
+    fn on_step(&mut self) -> Result<ActorStatus, String> {
+        Err("dispatched with no event (double-step / phantom requeue)".into())
+    }
+}
+
+/// Runs `actors_events[i]` events into actor `i` on `workers` workers and
+/// asserts every event was delivered exactly once and every actor retired.
+fn check_delivery(workers: usize, actors_events: &[usize]) {
+    let actors: Vec<Probe> = actors_events.iter().map(|&n| Probe::new(n)).collect();
+    let total: usize = actors_events.iter().sum();
+    let report = ActorEngine::new(workers).run(actors, |handle| {
+        let mut ticket = 0u64;
+        for (id, &events) in actors_events.iter().enumerate() {
+            for _ in 0..events {
+                handle
+                    .send(id, ticket)
+                    .unwrap_or_else(|e| panic!("send {ticket} to actor {id} failed: {e}"));
+                ticket += 1;
+            }
+        }
+    });
+    let ledger: Vec<(usize, usize, usize, Option<usize>)> = report
+        .actors
+        .iter()
+        .map(|a| (a.index, a.events, a.dispatches, a.completion_order))
+        .collect();
+    assert!(
+        report.all_complete(),
+        "an actor failed or was left parked: failures {:?}, \
+         (index, events, dispatches, order) {ledger:?}",
+        report.failures()
+    );
+    assert_eq!(report.events_total, total, "an event was lost");
+    for finished in &report.actors {
+        assert_eq!(
+            finished.events, actors_events[finished.index],
+            "actor {} delivery ledger drifted",
+            finished.index
+        );
+    }
+}
+
+/// Invariant 1 — no lost wakeup on park/unpark. One worker, one actor, two
+/// sends: the second send races the worker's drain-and-park decision, the
+/// exact hand-off the mailbox mutex is supposed to make safe. In every
+/// explored schedule both events arrive and the actor retires; a lost
+/// wakeup would deadlock the run (model-checker error) or leave the actor
+/// unretired (assertion).
+#[test]
+fn actor_park_unpark_never_loses_a_wakeup() {
+    let report = model()
+        .check("actor_park_unpark_never_loses_a_wakeup", || {
+            check_delivery(1, &[2]);
+        })
+        .expect("no interleaving may lose a wakeup");
+    #[cfg(sdds_check)]
+    assert!(
+        report.executions > 100,
+        "soak explored too little: {report:?}"
+    );
+    #[cfg(not(sdds_check))]
+    assert!(report.executions >= 1, "model must run: {report:?}");
+}
+
+/// Invariant 2 — no double-step of one session. Two workers contend over
+/// the injector and each other's local FIFOs while two actors receive two
+/// events each: a double-step surfaces as an event-less dispatch (the probe
+/// errors from inside) or a duplicate delivery; either fails
+/// `all_complete`.
+#[test]
+fn actor_under_worker_race_is_stepped_exactly_once() {
+    let report = model()
+        .check("actor_under_worker_race_is_stepped_exactly_once", || {
+            check_delivery(2, &[2, 2]);
+        })
+        .expect("no explored interleaving may double-step an actor");
+    #[cfg(sdds_check)]
+    assert!(
+        report.executions > 100,
+        "soak explored too little: {report:?}"
+    );
+    #[cfg(not(sdds_check))]
+    assert!(report.executions >= 1, "model must run: {report:?}");
+}

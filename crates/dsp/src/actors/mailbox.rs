@@ -1,0 +1,201 @@
+//! The per-actor bounded mailbox: one mutex guards the event queue *and* the
+//! scheduling state, which is what makes the park/unpark hand-off race-free
+//! (see the [`crate::actors`] module docs for the protocol).
+
+use std::collections::VecDeque;
+
+use sdds_sync::sync::{Condvar, Mutex, MutexExt};
+
+/// Scheduling state of one actor (the full protocol is documented on
+/// [`crate::actors`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxState {
+    /// No queued events, id in no run queue: only a send wakes the actor.
+    Parked,
+    /// Id sits in exactly one run queue, waiting to be claimed.
+    Scheduled,
+    /// Claimed: one worker is delivering this actor's events.
+    Running,
+    /// Retired (completed or failed): sends are rejected.
+    Complete,
+}
+
+/// Queue and state, behind the one mutex of the mailbox.
+#[derive(Debug)]
+struct Inner<E> {
+    queue: VecDeque<E>,
+    state: MailboxState,
+}
+
+/// What a send did to the scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendOutcome {
+    /// The actor was parked; the caller must enqueue its id (the mailbox has
+    /// already transitioned it to [`MailboxState::Scheduled`]).
+    Unparked,
+    /// The actor was already scheduled or running; the post-dispatch check
+    /// will see the queued event, so nothing to enqueue.
+    Queued,
+}
+
+/// A bounded event queue fused with the actor's scheduling state.
+#[derive(Debug)]
+pub(crate) struct Mailbox<E> {
+    inner: Mutex<Inner<E>>,
+    /// Senders blocked on a full queue wait here; drains and retirement
+    /// notify.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl<E> Mailbox<E> {
+    /// A parked, empty mailbox holding at most `capacity` events (clamped to
+    /// at least 1 — a zero-capacity mailbox could never accept a send).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Mailbox {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                state: MailboxState::Parked,
+            }),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Marks a parked actor as scheduled without an event (initial seeding
+    /// of ready actors). Returns `false` if the actor was not parked.
+    pub(crate) fn seed(&self) -> bool {
+        let mut inner = self.inner.lock_np();
+        if inner.state == MailboxState::Parked {
+            inner.state = MailboxState::Scheduled;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queues one event, blocking while the mailbox is full (backpressure:
+    /// the driver cannot outrun the workers by more than `capacity` events
+    /// per actor). Fails once the actor retired.
+    pub(crate) fn send(&self, event: E) -> Result<SendOutcome, ()> {
+        let mut inner = self.inner.lock_np();
+        loop {
+            if inner.state == MailboxState::Complete {
+                return Err(());
+            }
+            if inner.queue.len() < self.capacity {
+                break;
+            }
+            inner = self
+                .space
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        inner.queue.push_back(event);
+        if inner.state == MailboxState::Parked {
+            inner.state = MailboxState::Scheduled;
+            Ok(SendOutcome::Unparked)
+        } else {
+            Ok(SendOutcome::Queued)
+        }
+    }
+
+    /// Claims the actor (`Scheduled → Running`) and drains up to `batch`
+    /// events for delivery. Draining frees queue space, so blocked senders
+    /// are woken.
+    pub(crate) fn claim(&self, batch: usize) -> Vec<E> {
+        let mut inner = self.inner.lock_np();
+        inner.state = MailboxState::Running;
+        let take = inner.queue.len().min(batch);
+        let events: Vec<E> = inner.queue.drain(..take).collect();
+        drop(inner);
+        if !events.is_empty() {
+            self.space.notify_all();
+        }
+        events
+    }
+
+    /// Ends a dispatch (`Running → Scheduled | Parked`): requeues when the
+    /// actor is still ready or a send landed mid-dispatch, parks otherwise.
+    /// Returns `true` iff the caller must put the id back on a run queue.
+    /// This is the worker's half of the no-lost-wakeup hand-off: the queue
+    /// check and the state transition happen under the same mutex a sender
+    /// uses.
+    pub(crate) fn release(&self, ready: bool) -> bool {
+        let mut inner = self.inner.lock_np();
+        if ready || !inner.queue.is_empty() {
+            inner.state = MailboxState::Scheduled;
+            true
+        } else {
+            inner.state = MailboxState::Parked;
+            false
+        }
+    }
+
+    /// Retires the actor: undelivered events are dropped (returned as a
+    /// count) and blocked senders are woken to observe the retirement.
+    pub(crate) fn retire(&self) -> usize {
+        let mut inner = self.inner.lock_np();
+        inner.state = MailboxState::Complete;
+        let dropped = inner.queue.len();
+        inner.queue.clear();
+        drop(inner);
+        self.space.notify_all();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_unparks_exactly_once() {
+        let mailbox: Mailbox<u32> = Mailbox::new(4);
+        assert_eq!(mailbox.send(1), Ok(SendOutcome::Unparked));
+        // Already scheduled: further sends only queue.
+        assert_eq!(mailbox.send(2), Ok(SendOutcome::Queued));
+        let events = mailbox.claim(8);
+        assert_eq!(events, vec![1, 2]);
+        // Drained and not ready: parks, so the next send unparks again.
+        assert!(!mailbox.release(false));
+        assert_eq!(mailbox.send(3), Ok(SendOutcome::Unparked));
+    }
+
+    #[test]
+    fn release_requeues_when_a_send_raced_the_dispatch() {
+        let mailbox: Mailbox<u32> = Mailbox::new(4);
+        assert_eq!(mailbox.send(1), Ok(SendOutcome::Unparked));
+        let events = mailbox.claim(1);
+        assert_eq!(events, vec![1]);
+        // A send lands while the actor is Running: no unpark...
+        assert_eq!(mailbox.send(2), Ok(SendOutcome::Queued));
+        // ...but the release sees the queued event and requeues.
+        assert!(mailbox.release(false));
+        assert_eq!(mailbox.claim(1), vec![2]);
+        assert!(!mailbox.release(false));
+    }
+
+    #[test]
+    fn retirement_rejects_sends_and_drops_the_queue() {
+        let mailbox: Mailbox<u32> = Mailbox::new(4);
+        assert_eq!(mailbox.send(1), Ok(SendOutcome::Unparked));
+        assert_eq!(mailbox.send(2), Ok(SendOutcome::Queued));
+        assert_eq!(mailbox.retire(), 2);
+        assert_eq!(mailbox.send(3), Err(()));
+    }
+
+    #[test]
+    fn seeding_schedules_only_parked_actors() {
+        let mailbox: Mailbox<u32> = Mailbox::new(4);
+        assert!(mailbox.seed());
+        assert!(!mailbox.seed(), "already scheduled");
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mailbox: Mailbox<u32> = Mailbox::new(0);
+        assert_eq!(mailbox.send(7), Ok(SendOutcome::Unparked));
+        assert_eq!(mailbox.claim(1), vec![7]);
+    }
+}

@@ -18,19 +18,26 @@
 //!   [`service::FanOutDisseminator`] (one encryption per item, M
 //!   subscribers), and the [`service::ServiceModel`] capacity math (see the
 //!   module docs for the architecture diagram and the knob → paper-experiment
-//!   mapping).
+//!   mapping),
+//! * [`actors`] — the readiness-driven actor engine of experiment E11: one
+//!   bounded mailbox per session, a work-stealing executor over N workers,
+//!   and park/unpark stepping so the serving loop does O(changed work) per
+//!   step instead of O(sessions). Selected per scheduler via
+//!   [`service::SchedulerEngine`].
 
 #![forbid(unsafe_code)]
 
+pub mod actors;
 pub mod dissemination;
 pub mod server;
 pub mod service;
 pub mod store;
 
+pub use actors::{ActorEngine, ActorReport, ActorSession, ActorStatus, FinishedActor};
 pub use dissemination::{DisseminationChannel, StreamItem};
 pub use server::{AtomicServerStats, DspServer, ServerStats};
 pub use service::{
-    DspService, FanOutDisseminator, HotPolicy, Schedulable, ScheduleReport, ServiceModel,
-    SessionScheduler, ShardedStore, StepOutcome,
+    DspService, FanOutDisseminator, HotPolicy, Schedulable, ScheduleReport, SchedulerEngine,
+    ServiceModel, SessionScheduler, ShardedStore, StepOutcome,
 };
 pub use store::{DocumentRecord, DspStore};

@@ -67,10 +67,14 @@ pub mod scheduler;
 pub mod shard;
 
 pub use fanout::{FanOutDisseminator, SubscriberId};
-pub use scheduler::{FinishedSession, Schedulable, ScheduleReport, SessionScheduler, StepOutcome};
+pub use scheduler::{
+    FinishedSession, Schedulable, ScheduleReport, SchedulerEngine, SessionScheduler, StepOutcome,
+};
 pub use shard::{HotPolicy, ShardedStore};
 
 use std::time::Duration;
+
+use sdds_sync::sync::atomic::{AtomicU64, Ordering};
 
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;
@@ -128,6 +132,9 @@ impl ServiceModel {
 pub struct DspService {
     store: ShardedStore,
     model: ServiceModel,
+    /// Monotone ticket counter handing each new card session a distinct
+    /// route salt (replica spreading — see [`DspService::next_session_salt`]).
+    session_tickets: AtomicU64,
 }
 
 impl DspService {
@@ -137,6 +144,7 @@ impl DspService {
         DspService {
             store: ShardedStore::new(shards),
             model: ServiceModel::lan(),
+            session_tickets: AtomicU64::new(0),
         }
     }
 
@@ -213,6 +221,26 @@ impl DspService {
         self.store.fetch_header_pinned(doc_id)
     }
 
+    /// Hands out the next session route salt. Every card session draws one
+    /// at connect time and carries it through its `fetch_*_salted` calls, so
+    /// identical requests from different sessions spread over a hot
+    /// document's replicas instead of all queueing on the same copy (the
+    /// PR 5 hot-document scenario: 256 sessions, one document, every header
+    /// request previously hitting the home shard).
+    pub fn next_session_salt(&self) -> u64 {
+        self.session_tickets.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Pinned header fetch routed with a per-session `salt` (see
+    /// [`ShardedStore::fetch_header_pinned_salted`]).
+    pub fn fetch_header_pinned_salted(
+        &self,
+        doc_id: &str,
+        salt: u64,
+    ) -> Result<(DocumentHeader, u64), CoreError> {
+        self.store.fetch_header_pinned_salted(doc_id, salt)
+    }
+
     /// Fetches one encrypted chunk and its Merkle proof.
     pub fn fetch_chunk(
         &self,
@@ -233,6 +261,19 @@ impl DspService {
         self.store.fetch_chunk_pinned(doc_id, index, revision)
     }
 
+    /// Pinned chunk fetch routed with a per-session `salt` (see
+    /// [`ShardedStore::fetch_chunk_pinned_salted`]).
+    pub fn fetch_chunk_pinned_salted(
+        &self,
+        doc_id: &str,
+        index: u32,
+        revision: u64,
+        salt: u64,
+    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+        self.store
+            .fetch_chunk_pinned_salted(doc_id, index, revision, salt)
+    }
+
     /// Fetches the protected rule blob of `subject` for `doc_id`.
     pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
         self.store.fetch_rules(doc_id, subject)
@@ -248,6 +289,19 @@ impl DspService {
         revision: u64,
     ) -> Result<Vec<u8>, CoreError> {
         self.store.fetch_rules_pinned(doc_id, subject, revision)
+    }
+
+    /// Pinned rules fetch routed with a per-session `salt` (see
+    /// [`ShardedStore::fetch_rules_pinned_salted`]).
+    pub fn fetch_rules_pinned_salted(
+        &self,
+        doc_id: &str,
+        subject: &str,
+        revision: u64,
+        salt: u64,
+    ) -> Result<Vec<u8>, CoreError> {
+        self.store
+            .fetch_rules_pinned_salted(doc_id, subject, revision, salt)
     }
 
     /// Upload revision of a stored document (`None` if unknown).

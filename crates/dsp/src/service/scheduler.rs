@@ -3,12 +3,27 @@
 //! A smart-card pull session is a long conversation: hundreds of APDU
 //! exchanges and chunk requests per document. Serving K clients one after the
 //! other would give the first card exclusive use of the DSP and make the last
-//! card wait K full sessions. The [`SessionScheduler`] instead advances every
-//! session a *quantum* of chunk requests at a time: workers pop the session at
-//! the head of a shared FIFO run queue, step it once, and — if it is not done
-//! — requeue it at the tail. The FIFO requeue is what makes the schedule a
-//! fair round-robin per card: between two steps of one session, every other
-//! runnable session gets exactly one step.
+//! card wait K full sessions. The [`SessionScheduler`] advances every session
+//! a *quantum* of chunk requests at a time instead, using one of two
+//! execution engines ([`SchedulerEngine`]):
+//!
+//! * **[`SchedulerEngine::Threads`]** (the default) — workers pop the session
+//!   at the head of a shared FIFO run queue, step it once, and — if it is not
+//!   done — requeue it at the tail. The FIFO requeue is what makes the
+//!   schedule a fair round-robin per card: between two steps of one session,
+//!   every other runnable session gets exactly one step. Every live session
+//!   rides the queue every lap, so a lap costs O(sessions) even when most
+//!   sessions are waiting — fine at hundreds of sessions, the bottleneck at
+//!   tens of thousands.
+//! * **[`SchedulerEngine::Actors`]** — the same sessions run on the
+//!   [`crate::actors::ActorEngine`]: per-session bounded mailboxes, a
+//!   work-stealing worker pool, and readiness-driven parking, preserving the
+//!   per-worker FIFO fairness while doing O(changed work) per step. The E11
+//!   experiment (`benches/e11_actor_scale.rs`) measures the crossover.
+//!
+//! Both engines produce the same [`ScheduleReport`] and, for deterministic
+//! workloads, byte-identical per-session results (`tests/actor_equivalence.
+//! rs` pins this property).
 //!
 //! The scheduler is deliberately generic: anything implementing
 //! [`Schedulable`] can be multiplexed. The terminal proxy implements it for
@@ -20,6 +35,8 @@ use std::collections::VecDeque;
 use sdds_sync::sync::atomic::{AtomicUsize, Ordering};
 use sdds_sync::sync::{Condvar, Mutex, MutexExt};
 use sdds_sync::thread;
+
+use crate::actors::{ActorEngine, ActorSession, ActorStatus};
 
 /// What a step of a session reports back to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,11 +107,50 @@ impl<S> ScheduleReport<S> {
     }
 }
 
+/// Which execution engine a [`SessionScheduler`] runs its sessions on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerEngine {
+    /// Shared blocking FIFO, one step per pop, requeue at the tail
+    /// (round-robin; O(sessions) per lap). The default.
+    #[default]
+    Threads,
+    /// Per-session mailboxes on the work-stealing
+    /// [`crate::actors::ActorEngine`] (readiness-driven; O(changed work)).
+    Actors,
+}
+
 /// A work-conserving round-robin scheduler over a fixed worker pool.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionScheduler {
     workers: usize,
     quantum: usize,
+    engine: SchedulerEngine,
+}
+
+/// Adapter running a [`Schedulable`] on the actor engine: each dispatch
+/// grants one quantum-bounded step, and the session stays `Ready` (self-
+/// driving) until it completes — the actor-engine equivalent of the FIFO
+/// requeue.
+struct StepActor<S> {
+    session: S,
+    quantum: usize,
+    steps: usize,
+}
+
+impl<S: Schedulable> ActorSession for StepActor<S> {
+    type Event = ();
+
+    fn on_event(&mut self, (): ()) -> Result<ActorStatus, String> {
+        self.on_step()
+    }
+
+    fn on_step(&mut self) -> Result<ActorStatus, String> {
+        self.steps += 1;
+        match self.session.step(self.quantum)? {
+            StepOutcome::Pending => Ok(ActorStatus::Ready),
+            StepOutcome::Complete => Ok(ActorStatus::Complete),
+        }
+    }
 }
 
 /// A session riding the run queue.
@@ -111,7 +167,27 @@ impl SessionScheduler {
         SessionScheduler {
             workers: workers.max(1),
             quantum: quantum.max(1),
+            engine: SchedulerEngine::default(),
         }
+    }
+
+    /// Selects the execution engine (defaults to
+    /// [`SchedulerEngine::Threads`]).
+    ///
+    /// ```
+    /// use sdds_dsp::service::{SchedulerEngine, SessionScheduler};
+    ///
+    /// let scheduler = SessionScheduler::new(4, 8).engine(SchedulerEngine::Actors);
+    /// assert_eq!(scheduler.engine_kind(), SchedulerEngine::Actors);
+    /// ```
+    pub fn engine(mut self, engine: SchedulerEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected execution engine.
+    pub fn engine_kind(&self) -> SchedulerEngine {
+        self.engine
     }
 
     /// Worker count.
@@ -125,11 +201,57 @@ impl SessionScheduler {
     }
 
     /// Runs every session to retirement and returns them with their
-    /// scheduling telemetry. Sessions are started in submission order and
-    /// requeued FIFO, so with a single worker the schedule is an exact
-    /// round-robin; with more workers it is round-robin up to the
-    /// worker-count reordering window.
+    /// scheduling telemetry, on the engine selected by
+    /// [`SessionScheduler::engine`]. On the thread engine, sessions are
+    /// started in submission order and requeued FIFO, so with a single worker
+    /// the schedule is an exact round-robin; with more workers it is
+    /// round-robin up to the worker-count reordering window. The actor engine
+    /// preserves the same local-FIFO fairness per worker.
     pub fn run<S: Schedulable>(&self, sessions: Vec<S>) -> ScheduleReport<S> {
+        match self.engine {
+            SchedulerEngine::Threads => self.run_threads(sessions),
+            SchedulerEngine::Actors => self.run_actors(sessions),
+        }
+    }
+
+    /// The actor path: wrap each session in a self-driving [`StepActor`]
+    /// (one quantum-bounded step per dispatch), seed them all ready, and
+    /// translate the [`crate::actors::ActorReport`] back into a
+    /// [`ScheduleReport`] sorted by retirement rank.
+    fn run_actors<S: Schedulable>(&self, sessions: Vec<S>) -> ScheduleReport<S> {
+        let actors: Vec<StepActor<S>> = sessions
+            .into_iter()
+            .map(|session| StepActor {
+                session,
+                quantum: self.quantum,
+                steps: 0,
+            })
+            .collect();
+        let report = ActorEngine::new(self.workers).run_ready(actors);
+        let steps_total = report.dispatches_total;
+        let mut finished: Vec<FinishedSession<S>> = report
+            .actors
+            .into_iter()
+            .map(|actor| FinishedSession {
+                index: actor.index,
+                session: actor.actor.session,
+                steps: actor.actor.steps,
+                completion_order: actor.completion_order.unwrap_or(usize::MAX),
+                error: actor.error,
+            })
+            .collect();
+        finished.sort_by_key(|f| f.completion_order);
+        for (rank, f) in finished.iter_mut().enumerate() {
+            f.completion_order = rank;
+        }
+        ScheduleReport {
+            finished,
+            steps_total,
+        }
+    }
+
+    /// The thread path: a shared blocking FIFO run queue.
+    fn run_threads<S: Schedulable>(&self, sessions: Vec<S>) -> ScheduleReport<S> {
         let queue: Mutex<VecDeque<Job<S>>> = Mutex::new(
             sessions
                 .into_iter()
@@ -325,6 +447,37 @@ mod tests {
         assert_eq!(failures[0].0, 1);
         assert_eq!(failures[0].1, "boom");
         assert!(report.finished.iter().filter(|f| f.is_ok()).count() == 2);
+    }
+
+    #[test]
+    fn actor_engine_matches_the_thread_engine_on_equal_work() {
+        let sessions = || {
+            (0..12)
+                .map(|i| Counter {
+                    remaining: 40 + 10 * (i % 3),
+                    fail_at: if i == 5 { Some(20) } else { None },
+                })
+                .collect::<Vec<_>>()
+        };
+        let threads = SessionScheduler::new(2, 10).run(sessions());
+        let actors = SessionScheduler::new(2, 10)
+            .engine(SchedulerEngine::Actors)
+            .run(sessions());
+        assert_eq!(actors.finished.len(), threads.finished.len());
+        assert_eq!(actors.steps_total, threads.steps_total);
+        assert_eq!(actors.failures(), threads.failures());
+        // Same per-session step counts, compared in index order.
+        let per_index = |report: &ScheduleReport<Counter>| {
+            let mut steps: Vec<(usize, usize)> =
+                report.finished.iter().map(|f| (f.index, f.steps)).collect();
+            steps.sort_unstable();
+            steps
+        };
+        assert_eq!(per_index(&actors), per_index(&threads));
+        // Retirement ranks are dense on both engines.
+        let mut ranks: Vec<usize> = actors.finished.iter().map(|f| f.completion_order).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..12).collect::<Vec<_>>());
     }
 
     #[test]

@@ -482,7 +482,20 @@ impl ShardedStore {
     /// carrying this revision fail with [`CoreError::StaleRevision`] if the
     /// document is republished mid-session.
     pub fn fetch_header_pinned(&self, doc_id: &str) -> Result<(DocumentHeader, u64), CoreError> {
-        self.serve(doc_id, 0, |record, stats| {
+        self.fetch_header_pinned_salted(doc_id, 0)
+    }
+
+    /// Like [`ShardedStore::fetch_header_pinned`], but routed with a caller
+    /// `salt` — sessions carry distinct salts
+    /// (`crate::DspService::next_session_salt`) so *identical* header
+    /// requests from different sessions spread over a hot document's
+    /// replicas instead of all queueing on the home copy.
+    pub fn fetch_header_pinned_salted(
+        &self,
+        doc_id: &str,
+        salt: u64,
+    ) -> Result<(DocumentHeader, u64), CoreError> {
+        self.serve(doc_id, salt, |record, stats| {
             serve_header(record, stats, None).map(|header| (header, record.revision))
         })
     }
@@ -511,9 +524,24 @@ impl ShardedStore {
         index: u32,
         revision: u64,
     ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
-        self.serve(doc_id, u64::from(index) + 1, |record, stats| {
-            serve_chunk(record, stats, index, Some(revision))
-        })
+        self.fetch_chunk_pinned_salted(doc_id, index, revision, 0)
+    }
+
+    /// Like [`ShardedStore::fetch_chunk_pinned`], with a per-session routing
+    /// `salt` added to the chunk-index spread (see
+    /// [`ShardedStore::fetch_header_pinned_salted`]).
+    pub fn fetch_chunk_pinned_salted(
+        &self,
+        doc_id: &str,
+        index: u32,
+        revision: u64,
+        salt: u64,
+    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+        self.serve(
+            doc_id,
+            salt.wrapping_add(u64::from(index) + 1),
+            |record, stats| serve_chunk(record, stats, index, Some(revision)),
+        )
     }
 
     /// Fetches the protected rule blob of `subject` for `doc_id`.
@@ -532,9 +560,24 @@ impl ShardedStore {
         subject: &str,
         revision: u64,
     ) -> Result<Vec<u8>, CoreError> {
-        self.serve(doc_id, fnv1a(subject.as_bytes()), |record, stats| {
-            serve_rules(record, stats, subject, Some(revision))
-        })
+        self.fetch_rules_pinned_salted(doc_id, subject, revision, 0)
+    }
+
+    /// Like [`ShardedStore::fetch_rules_pinned`], with a per-session routing
+    /// `salt` added to the subject-hash spread (see
+    /// [`ShardedStore::fetch_header_pinned_salted`]).
+    pub fn fetch_rules_pinned_salted(
+        &self,
+        doc_id: &str,
+        subject: &str,
+        revision: u64,
+        salt: u64,
+    ) -> Result<Vec<u8>, CoreError> {
+        self.serve(
+            doc_id,
+            salt.wrapping_add(fnv1a(subject.as_bytes())),
+            |record, stats| serve_rules(record, stats, subject, Some(revision)),
+        )
     }
 
     /// Merged statistics of every shard.
@@ -781,6 +824,39 @@ mod tests {
             store.pin_replicas("gone", 4),
             Err(CoreError::NotFound { .. })
         ));
+    }
+
+    #[test]
+    fn session_salts_spread_identical_header_fetches_over_replicas() {
+        let store = ShardedStore::new(8);
+        store.put_document(document("hot"));
+        store.pin_replicas("hot", 4).unwrap();
+        let serving = store.replica_shards("hot");
+        assert_eq!(serving.len(), 4);
+
+        // Unsalted: every identical header fetch queues on the same copy.
+        for _ in 0..16 {
+            store.fetch_header_pinned("hot").unwrap();
+        }
+        let unsalted = store
+            .shard_stats()
+            .iter()
+            .filter(|s| s.requests > 0)
+            .count();
+        assert_eq!(unsalted, 1, "salt 0 always routes to one copy");
+
+        // Salted per session: the same request spreads over every copy.
+        store.reset_stats();
+        for salt in 0..16u64 {
+            store.fetch_header_pinned_salted("hot", salt).unwrap();
+        }
+        let stats = store.shard_stats();
+        let active: Vec<usize> = serving.iter().map(|&shard| stats[shard].requests).collect();
+        assert!(
+            active.iter().all(|&requests| requests > 0),
+            "16 salts over 4 copies must hit every copy, got {active:?}"
+        );
+        assert_eq!(active.iter().sum::<usize>(), 16);
     }
 
     #[test]

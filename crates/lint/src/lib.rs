@@ -20,6 +20,9 @@
 //!   bugs and the model checker turns it into a plain yield anyway.
 //! - **forbid-unsafe** — every first-party crate root carries
 //!   `#![forbid(unsafe_code)]`.
+//! - **doc-sync** — every experiment bench (`crates/bench/benches/e*.rs`)
+//!   must be named in the ARCHITECTURE.md experiment table, so the book
+//!   cannot silently fall behind the benches.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -37,6 +40,8 @@ pub enum Rule {
     NoSleep,
     /// Missing `#![forbid(unsafe_code)]` on a crate root.
     ForbidUnsafe,
+    /// An experiment bench file missing from ARCHITECTURE.md.
+    DocSync,
 }
 
 impl Rule {
@@ -48,6 +53,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::NoSleep => "no-sleep",
             Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::DocSync => "doc-sync",
         }
     }
 }
@@ -481,6 +487,30 @@ pub fn scan_file(path: &Path, contents: &str, rules: FileRules) -> Vec<Violation
     out
 }
 
+/// Checks the doc-sync contract: every experiment bench file name in
+/// `bench_files` (e.g. `e11_actor_scale.rs`) must appear — stem or full file
+/// name — in the text of the architecture book, whose experiment table is
+/// the map from paper experiments to benches and gated baseline keys.
+/// `book_path` is the path reported in violations (ARCHITECTURE.md).
+pub fn check_doc_sync(book_path: &Path, book: &str, bench_files: &[String]) -> Vec<Violation> {
+    bench_files
+        .iter()
+        .filter(|file| {
+            let stem = file.strip_suffix(".rs").unwrap_or(file);
+            !book.contains(stem)
+        })
+        .map(|file| Violation {
+            file: book_path.to_path_buf(),
+            line: 1,
+            rule: Rule::DocSync,
+            message: format!(
+                "experiment bench `{file}` is not mentioned in the architecture \
+                 book's experiment table; add a row for it"
+            ),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,6 +649,21 @@ mod tests {
         let v = scan("fn f(x: Option<u8>) {\n    let _s = \"a\\\nb\\\nc\";\n    x.unwrap();\n}\n");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 5, "{v:?}");
+    }
+
+    #[test]
+    fn doc_sync_flags_unlisted_benches_only() {
+        let book = "| E10 | `benches/e10_multi_client.rs` | `e10.*` |\n\
+                    | E11 | `benches/e11_actor_scale.rs` | `e11.*` |\n";
+        let benches = [
+            "e10_multi_client.rs".to_owned(),
+            "e11_actor_scale.rs".to_owned(),
+            "e12_future_work.rs".to_owned(),
+        ];
+        let v = check_doc_sync(Path::new("ARCHITECTURE.md"), book, &benches);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DocSync);
+        assert!(v[0].message.contains("e12_future_work.rs"));
     }
 
     #[test]

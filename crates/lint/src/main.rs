@@ -8,7 +8,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use sdds_lint::{scan_file, FileRules, Violation};
+use sdds_lint::{check_doc_sync, scan_file, FileRules, Violation};
 
 /// First-party crate directories, relative to the workspace root. Vendored
 /// crates (`vendor/`) are deliberately out of scope.
@@ -96,12 +96,32 @@ fn run() -> Result<Vec<Violation>, String> {
             scanned += 1;
         }
     }
+    violations.extend(doc_sync(&root)?);
     eprintln!(
         "sdds-lint: scanned {scanned} files across {} crates, {} violation(s)",
         CRATES.len(),
         violations.len()
     );
     Ok(violations)
+}
+
+/// The doc-sync rule: every `crates/bench/benches/e*.rs` experiment bench
+/// must be named in ARCHITECTURE.md's experiment table.
+fn doc_sync(root: &Path) -> Result<Vec<Violation>, String> {
+    let benches_dir = root.join("crates/bench/benches");
+    let mut files = Vec::new();
+    rust_sources(&benches_dir, &mut files)
+        .map_err(|e| format!("walking {}: {e}", benches_dir.display()))?;
+    let bench_files: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+        .filter(|n| n.starts_with('e') && n[1..].starts_with(|c: char| c.is_ascii_digit()))
+        .map(str::to_owned)
+        .collect();
+    let book_path = Path::new("ARCHITECTURE.md");
+    let book = std::fs::read_to_string(root.join(book_path))
+        .map_err(|e| format!("reading {}: {e}", book_path.display()))?;
+    Ok(check_doc_sync(book_path, &book, &bench_files))
 }
 
 fn main() -> ExitCode {

@@ -67,6 +67,10 @@ pub struct CardSession {
     /// The typed error behind `error` (the scheduler transports only the
     /// message; direct drivers want the real thing).
     failure: Option<ProxyError>,
+    /// Per-session route salt drawn from the service at connect time:
+    /// identical requests from different sessions spread over a hot
+    /// document's replicas (see `DspService::next_session_salt`).
+    route_salt: u64,
 }
 
 impl std::fmt::Debug for CardSession {
@@ -82,6 +86,7 @@ impl std::fmt::Debug for CardSession {
 impl CardSession {
     pub(crate) fn new(terminal: Terminal, service: Arc<DspService>, doc_id: String) -> Self {
         let channel = terminal.cost_model().channel;
+        let route_salt = service.next_session_salt();
         CardSession {
             terminal,
             service,
@@ -92,12 +97,19 @@ impl CardSession {
             view: None,
             error: None,
             failure: None,
+            route_salt,
         }
     }
 
     /// Document this session pulls.
     pub fn doc_id(&self) -> &str {
         &self.doc_id
+    }
+
+    /// Route salt this session carries on every fetch (distinct per session
+    /// on one service, so replicated documents spread their load).
+    pub fn route_salt(&self) -> u64 {
+        self.route_salt
     }
 
     /// Upload revision this session pinned at start (`None` before the first
@@ -172,14 +184,17 @@ impl CardSession {
         // The header fetch pins the upload revision for the whole session:
         // every later request carries it, so a mid-pull republish becomes a
         // typed `StaleRevision`, never a Merkle mismatch.
-        let (header, revision) = self.service.fetch_header_pinned(&self.doc_id)?;
+        let (header, revision) = self
+            .service
+            .fetch_header_pinned_salted(&self.doc_id, self.route_salt)?;
         self.revision = Some(revision);
         // Protected rules travel through the untrusted DSP as an opaque blob;
         // the card authenticates them itself on PUT_RULES.
-        let blob = self.service.fetch_rules_pinned(
+        let blob = self.service.fetch_rules_pinned_salted(
             &self.doc_id,
             self.terminal.subject().name(),
             revision,
+            self.route_salt,
         )?;
         self.terminal.install_rules(&blob)?;
         let header_bytes = header.encode();
@@ -202,9 +217,12 @@ impl CardSession {
             // lint: infallible — `start` pins the revision before entering
             // the `Streaming` phase that calls `stream`.
             let revision = self.revision.expect("streaming session pinned at start");
-            let (chunk, proof) = self
-                .service
-                .fetch_chunk_pinned(&self.doc_id, index, revision)?;
+            let (chunk, proof) = self.service.fetch_chunk_pinned_salted(
+                &self.doc_id,
+                index,
+                revision,
+                self.route_salt,
+            )?;
             let pushed = self.terminal.push_chunk(index, &chunk, &proof.encode())?;
             // The whole request rides the step's batch: the 5-byte
             // NEXT_REQUEST command and chunk payload out, the 4-byte index
@@ -443,6 +461,45 @@ mod tests {
         }
         // Same-size documents, FIFO requeue: the schedule stays balanced.
         assert!(report.step_spread() <= 1, "spread {}", report.step_spread());
+    }
+
+    #[test]
+    fn sessions_draw_distinct_salts_and_spread_replica_serving() {
+        let (server, service, _) = setup(1, 8);
+        service.pin_replicas("folder-0", 4).unwrap();
+        let copies = service.replica_shards("folder-0");
+        assert_eq!(copies.len(), 4);
+        service.reset_stats();
+
+        let sessions: Vec<CardSession> = (0..16)
+            .map(|_| {
+                terminal_for(&server, "doctor").connect_shared(Arc::clone(&service), "folder-0")
+            })
+            .collect();
+        // Every session drew a distinct salt from the shared ticket counter.
+        let mut salts: Vec<u64> = sessions.iter().map(|s| s.route_salt()).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), 16, "salts must be distinct per session");
+
+        let report = SessionScheduler::new(2, 4).run(sessions);
+        assert!(report.failures().is_empty(), "{:?}", report.failures());
+
+        // Header requests = requests − chunks − rule blobs, per shard. With
+        // unsalted routing all 16 identical header fetches hit the home copy;
+        // salted sessions must spread them over several replicas.
+        let stats = service.shard_stats();
+        let header_shards = copies
+            .iter()
+            .filter(|&&shard| {
+                let s = &stats[shard];
+                s.requests > s.chunks_served + s.rule_blobs_served
+            })
+            .count();
+        assert!(
+            header_shards > 1,
+            "identical header requests must spread over replicas, got {header_shards} shard(s)"
+        );
     }
 
     #[test]
