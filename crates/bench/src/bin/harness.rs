@@ -601,9 +601,31 @@ fn e11_actor_scale(report: &mut Report) {
     }
 }
 
+/// Runs the telemetry pass behind `--obs`: an E10 hot-document slice (shard
+/// serving, thread scheduler and card-session telemetry come off the
+/// service's own bundle) plus a standalone E11 slice (actor-engine telemetry
+/// on a dedicated bundle), merged into one snapshot. Returns the JSON report:
+/// the metric snapshot and the E10 service's flight-recorder dump.
+fn obs_report() -> String {
+    let (_, e10_snapshot, flight) =
+        workloads::hot_document_observed(workloads::HotDocumentConfig::new(64, 16, 4));
+    let e11_obs = sdds_dsp::DspObs::new(1);
+    let _ =
+        workloads::actor_scale_observed(workloads::ActorScaleConfig::new(1_000), Some(&e11_obs));
+    let mut snapshot = e10_snapshot;
+    snapshot.merge(&e11_obs.snapshot());
+    format!(
+        "{{\n\"schema\": \"sdds-obs-report-v1\",\n\"snapshot\": {},\n\"flight_recorder\": {}}}\n",
+        snapshot.to_json(),
+        flight
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut json_path: Option<String> = None;
+    let mut obs_path: Option<String> = None;
+    let mut obs_only = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => {
@@ -612,35 +634,59 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--obs" => {
+                obs_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--obs requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--obs-only" => {
+                obs_only = true;
+            }
             other => {
-                eprintln!("unknown argument `{other}` (supported: --json <path>)");
+                eprintln!(
+                    "unknown argument `{other}` (supported: --json <path>, --obs <path>, --obs-only)"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if obs_only && obs_path.is_none() {
+        eprintln!("--obs-only requires --obs <path>");
+        std::process::exit(2);
+    }
 
     let start = Instant::now();
-    let mut report = Report::default();
-    e1_rules_scaling(&mut report);
-    e2_skip_index(&mut report);
-    e3_index_overhead(&mut report);
-    e4_ram_budget(&mut report);
-    e5_latency_breakdown(&mut report);
-    e6_dissemination(&mut report);
-    e7_dynamic_rules(&mut report);
-    e8_query_mix(&mut report);
-    e9_streaming_vs_dom(&mut report);
-    e10_multi_client(&mut report);
-    e11_actor_scale(&mut report);
-    println!(
-        "\nharness completed in {:.1} s",
-        start.elapsed().as_secs_f64()
-    );
-    if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+    if !obs_only {
+        let mut report = Report::default();
+        e1_rules_scaling(&mut report);
+        e2_skip_index(&mut report);
+        e3_index_overhead(&mut report);
+        e4_ram_budget(&mut report);
+        e5_latency_breakdown(&mut report);
+        e6_dissemination(&mut report);
+        e7_dynamic_rules(&mut report);
+        e8_query_mix(&mut report);
+        e9_streaming_vs_dom(&mut report);
+        e10_multi_client(&mut report);
+        e11_actor_scale(&mut report);
+        println!(
+            "\nharness completed in {:.1} s",
+            start.elapsed().as_secs_f64()
+        );
+        if let Some(path) = json_path {
+            std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("metrics written to {path}");
+        }
+    }
+    if let Some(path) = obs_path {
+        std::fs::write(&path, obs_report()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
-        println!("metrics written to {path}");
+        println!("telemetry snapshot written to {path}");
     }
 }

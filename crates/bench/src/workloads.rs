@@ -240,7 +240,11 @@ fn run_sessions(
     quantum: usize,
 ) -> MultiClientOutcome {
     let start = std::time::Instant::now();
-    let report = sdds::SessionScheduler::new(workers, quantum).run(sessions);
+    // The scheduler shares the service's telemetry cells, so one snapshot
+    // off the service covers serving, scheduling and session traffic.
+    let report = sdds::SessionScheduler::new(workers, quantum)
+        .with_obs(service.obs())
+        .run(sessions);
     let wall = start.elapsed();
     let failures = report.failures();
     assert!(failures.is_empty(), "E10 sessions failed: {failures:?}");
@@ -529,13 +533,28 @@ fn engine_run(
 /// computed from the counters on the simulated clock, so the gated `e11.*`
 /// keys are machine independent.
 pub fn actor_scale(config: ActorScaleConfig) -> ActorScaleOutcome {
+    actor_scale_observed(config, None)
+}
+
+/// Like [`actor_scale`], optionally wiring both engines' telemetry into a
+/// [`sdds_dsp::DspObs`] bundle (E11 runs standalone, so the harness hands it
+/// a dedicated bundle rather than a service's). The outcome is byte-identical
+/// with or without `obs` — telemetry is parallel tallies only.
+pub fn actor_scale_observed(
+    config: ActorScaleConfig,
+    obs: Option<&sdds_dsp::DspObs>,
+) -> ActorScaleOutcome {
     let sessions = config.sessions.max(1);
     let polls = config.poll_interval.max(1);
     let batches = config.batches.max(1);
 
     // Thread engine: every session rides the FIFO until its batches arrive.
     let start = std::time::Instant::now();
-    let report = sdds_dsp::SessionScheduler::new(config.workers, 1).run(
+    let mut scheduler = sdds_dsp::SessionScheduler::new(config.workers, 1);
+    if let Some(obs) = obs {
+        scheduler = scheduler.with_obs(obs);
+    }
+    let report = scheduler.run(
         (0..sessions)
             .map(|_| SimCardSession::new(&config))
             .collect(),
@@ -563,7 +582,11 @@ pub fn actor_scale(config: ActorScaleConfig) -> ActorScaleOutcome {
     // Actor engine: a driver delivers each session's batches round-robin;
     // parked sessions cost nothing between arrivals.
     let start = std::time::Instant::now();
-    let actor_report = sdds_dsp::ActorEngine::new(config.workers).run(
+    let mut engine = sdds_dsp::ActorEngine::new(config.workers);
+    if let Some(obs) = obs {
+        engine = engine.with_obs(obs.actors());
+    }
+    let actor_report = engine.run(
         (0..sessions)
             .map(|_| SimCardSession::new(&config))
             .collect::<Vec<_>>(),
@@ -646,6 +669,16 @@ impl HotDocumentConfig {
 /// hash picks the copy), so the outcome is byte-deterministic on the
 /// simulated clock like every other E10 metric.
 pub fn hot_document(config: HotDocumentConfig) -> MultiClientOutcome {
+    hot_document_observed(config).0
+}
+
+/// Like [`hot_document`], additionally returning the service's telemetry:
+/// the metric snapshot (counters, gauges, latency histograms across every
+/// layer the run exercised) and the flight-recorder dump. The outcome stays
+/// byte-identical to [`hot_document`] — telemetry is parallel tallies only.
+pub fn hot_document_observed(
+    config: HotDocumentConfig,
+) -> (MultiClientOutcome, sdds::ObsSnapshot, String) {
     use sdds::{CardSession, Client, Publisher};
 
     const SUBJECTS: &[&str] = &["doctor", "secretary", "researcher"];
@@ -690,10 +723,13 @@ pub fn hot_document(config: HotDocumentConfig) -> MultiClientOutcome {
         })
         .collect();
 
-    run_sessions(
+    let outcome = run_sessions(
         publisher.service(),
         sessions,
         config.workers,
         config.quantum,
-    )
+    );
+    let snapshot = publisher.service().obs_snapshot();
+    let flight = publisher.service().flight_recorder_json();
+    (outcome, snapshot, flight)
 }

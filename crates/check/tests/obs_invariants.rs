@@ -1,0 +1,127 @@
+//! Model-checked invariants of the `sdds-obs` telemetry substrate.
+//!
+//! The observability layer rides inside the serving hot paths, so it is held
+//! to the same standard as the paths themselves: built on `sdds-sync`, and
+//! model-checked here under the `sdds-check` shims. In a normal build these
+//! are plain concurrency smoke tests; compiled with
+//! `RUSTFLAGS="--cfg sdds_check"` the same closures explore every
+//! interleaving up to the preemption bound.
+//!
+//! Invariants:
+//!
+//! 1. The flight-recorder ring never tears: whatever the interleaving, every
+//!    surviving record is internally consistent, each lane holds at most
+//!    `capacity` records, and each lane keeps exactly its **newest** records
+//!    (overwrite-oldest), in admission order.
+//! 2. Registry counters lose no increments across threads.
+
+use sdds_check::shim::thread;
+use sdds_check::Model;
+use sdds_obs::{FlightRecorder, Registry};
+
+fn model() -> Model {
+    // `Model::new()` honours SDDS_CHECK_BRANCHES / SDDS_CHECK_PREEMPTIONS,
+    // so the CI soak can widen the search without touching the tests.
+    Model::new()
+}
+
+fn assert_explored(report: &sdds_check::Report, name: &str) {
+    #[cfg(sdds_check)]
+    {
+        assert!(
+            report.exhausted,
+            "{name}: search must exhaust within the branch budget"
+        );
+        assert!(
+            report.executions > 1,
+            "{name}: instrumented model must branch"
+        );
+    }
+    #[cfg(not(sdds_check))]
+    {
+        assert!(report.executions >= 1, "{name}: model must run");
+    }
+}
+
+/// Two writer threads, one lane each, writing more records than the ring
+/// holds. Each record is written with `duration = start + 1`, so a torn slot
+/// (fields from two different writes) is detectable by inspection.
+#[test]
+fn flight_ring_overwrites_oldest_without_tearing() {
+    // Tiny on purpose: each write is several scheduling points under the
+    // shims, and the search must exhaust within the default branch budget.
+    const CAPACITY: usize = 1;
+    const WRITES: u64 = 2;
+
+    let report = model()
+        .check("obs_flight_ring_overwrite_oldest", || {
+            let recorder = FlightRecorder::new(2, CAPACITY);
+            thread::scope(|scope| {
+                for lane in 0..2usize {
+                    let recorder = &recorder;
+                    scope.spawn(move || {
+                        for i in 0..WRITES {
+                            recorder.record(lane, "check.span", i, i + 1);
+                        }
+                    });
+                }
+            });
+
+            assert_eq!(recorder.recorded(), 2 * WRITES, "every write admitted");
+            let records = recorder.records();
+            for lane in 0..2usize {
+                let in_lane: Vec<_> = records.iter().filter(|r| r.lane == lane).collect();
+                assert_eq!(in_lane.len(), CAPACITY, "lane {lane} full, not over");
+                for (slot, record) in in_lane.iter().enumerate() {
+                    assert_eq!(
+                        record.duration_nanos,
+                        record.start_nanos + 1,
+                        "lane {lane} slot {slot} is torn: {record:?}"
+                    );
+                }
+                // Overwrite-oldest: the lane keeps its newest writes, in the
+                // order the (single) writer admitted them.
+                let starts: Vec<u64> = in_lane.iter().map(|r| r.start_nanos).collect();
+                let expected: Vec<u64> = (WRITES - CAPACITY as u64..WRITES).collect();
+                assert_eq!(starts, expected, "lane {lane} must keep newest records");
+                let seqs: Vec<u64> = in_lane.iter().map(|r| r.seq).collect();
+                assert!(
+                    seqs.windows(2).all(|w| w[0] < w[1]),
+                    "lane {lane} records out of admission order: {seqs:?}"
+                );
+            }
+        })
+        .expect("no interleaving may tear the ring");
+    assert_explored(&report, "obs_flight_ring_overwrite_oldest");
+}
+
+/// Concurrent increments through independent counter handles cloned from one
+/// registry: the snapshot must account every increment exactly once.
+#[test]
+fn registry_counters_lose_no_increments() {
+    const PER_THREAD: u64 = 4;
+
+    let report = model()
+        .check("obs_registry_counter_no_lost_updates", || {
+            let registry = Registry::new();
+            let counter = registry.counter("check.counter");
+            thread::scope(|scope| {
+                for _ in 0..2 {
+                    let counter = counter.clone();
+                    scope.spawn(move || {
+                        for _ in 0..PER_THREAD {
+                            counter.inc();
+                        }
+                    });
+                }
+            });
+            let snapshot = registry.snapshot();
+            assert_eq!(
+                snapshot.counter("check.counter"),
+                2 * PER_THREAD,
+                "increments must not be lost"
+            );
+        })
+        .expect("no interleaving may drop a counter increment");
+    assert_explored(&report, "obs_registry_counter_no_lost_updates");
+}

@@ -9,6 +9,7 @@ use sdds_sync::thread;
 
 use super::mailbox::{Mailbox, SendOutcome};
 use super::{ActorSession, ActorStatus};
+use crate::obs::ActorObs;
 
 /// Why a send was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,10 @@ struct Shared<A: ActorSession> {
     steals: AtomicUsize,
     /// Max events one dispatch may deliver ([`ActorEngine::with_batch`]).
     batch_limit: usize,
+    /// Telemetry handles (detached unless [`ActorEngine::with_obs`] wired
+    /// them). Parallel tallies only — the report counters above stay the
+    /// deterministic source of truth.
+    obs: ActorObs,
 }
 
 impl<A: ActorSession> Shared<A> {
@@ -134,6 +139,9 @@ impl<A: ActorSession> Shared<A> {
     /// (every sleeper must re-check).
     fn bump(&self, all: bool) {
         *self.epoch.lock_np() += 1;
+        if self.obs.live {
+            self.obs.wakes.inc();
+        }
         if all {
             self.wake.notify_all();
         } else {
@@ -166,6 +174,9 @@ impl<A: ActorSession> Shared<A> {
             let victim = (me + offset) % self.locals.len();
             if let Some(id) = self.locals[victim].lock_np().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                if self.obs.live {
+                    self.obs.steals.inc();
+                }
                 return Some(id);
             }
         }
@@ -192,6 +203,11 @@ impl<A: ActorSession> Shared<A> {
 
     /// Delivers one dispatch of actor `id` on worker `me`.
     fn dispatch(&self, me: usize, id: usize) {
+        let started = if self.obs.live {
+            self.obs.recorder.now_nanos()
+        } else {
+            0
+        };
         let cell = &self.cells[id];
         let events = cell.mailbox.claim(self.batch_limit);
         let mut body = cell.body.lock_np();
@@ -218,6 +234,7 @@ impl<A: ActorSession> Shared<A> {
             self.live.fetch_sub(1, Ordering::SeqCst); // ordering: see `finished`
             self.inflight.fetch_sub(1, Ordering::SeqCst); // ordering: see `finished`
             self.bump(true);
+            self.finish_dispatch(me, started);
             return;
         }
         drop(body);
@@ -229,9 +246,27 @@ impl<A: ActorSession> Shared<A> {
             self.bump(false);
         } else {
             // Parked: the next send re-raises the count.
+            if self.obs.live {
+                self.obs.parks.inc();
+            }
             self.inflight.fetch_sub(1, Ordering::SeqCst); // ordering: see `finished`
             self.bump(true);
         }
+        self.finish_dispatch(me, started);
+    }
+
+    /// Closes the telemetry of one dispatch: counter, latency histogram and
+    /// a flight record on the worker's lane. No-op on a detached bundle.
+    fn finish_dispatch(&self, me: usize, started: u64) {
+        if !self.obs.live {
+            return;
+        }
+        let duration = self.obs.recorder.now_nanos().saturating_sub(started);
+        self.obs.dispatches.inc();
+        self.obs.dispatch_latency.record(duration);
+        self.obs
+            .recorder
+            .record(me, "actors.dispatch", started, duration);
     }
 }
 
@@ -252,12 +287,24 @@ impl<A: ActorSession> ActorHandle<'_, A> {
             .get(index)
             .ok_or(SendError::UnknownActor)?;
         match cell.mailbox.send(event) {
-            Ok(SendOutcome::Unparked) => {
-                self.shared.enqueue(&self.shared.injector, index);
+            Ok((outcome, stalls)) => {
+                if self.shared.obs.live && stalls > 0 {
+                    self.shared.obs.mailbox_stalls.add(stalls as u64);
+                }
+                if outcome == SendOutcome::Unparked {
+                    if self.shared.obs.live {
+                        self.shared.obs.unparks.inc();
+                    }
+                    self.shared.enqueue(&self.shared.injector, index);
+                }
                 Ok(())
             }
-            Ok(SendOutcome::Queued) => Ok(()),
-            Err(()) => Err(SendError::Retired),
+            Err(()) => {
+                if self.shared.obs.live {
+                    self.shared.obs.mailbox_closed.inc();
+                }
+                Err(SendError::Retired)
+            }
         }
     }
 
@@ -268,22 +315,33 @@ impl<A: ActorSession> ActorHandle<'_, A> {
 }
 
 /// The work-stealing, readiness-driven executor (see [`crate::actors`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ActorEngine {
     workers: usize,
     batch: usize,
     capacity: usize,
+    obs: ActorObs,
 }
 
 impl ActorEngine {
     /// An engine with `workers` worker threads (clamped to at least 1),
     /// delivering 1 event per dispatch from mailboxes bounded at 32 events.
+    /// Telemetry is detached until [`ActorEngine::with_obs`] wires it.
     pub fn new(workers: usize) -> Self {
         ActorEngine {
             workers: workers.max(1),
             batch: 1,
             capacity: 32,
+            obs: ActorObs::detached(),
         }
+    }
+
+    /// Wires the engine's telemetry (steal/park/unpark/wake counters,
+    /// dispatch latency, mailbox backpressure) into `obs`'s cells — usually a
+    /// clone of [`crate::DspObs::actors`].
+    pub fn with_obs(mut self, obs: ActorObs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets how many events one dispatch may deliver (clamped to at least
@@ -356,6 +414,7 @@ impl ActorEngine {
             retired: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
             batch_limit: self.batch,
+            obs: self.obs.clone(),
         };
         if start_ready {
             // Seed round-robin over the local FIFOs so the initial load is

@@ -76,9 +76,12 @@ impl<E> Mailbox<E> {
 
     /// Queues one event, blocking while the mailbox is full (backpressure:
     /// the driver cannot outrun the workers by more than `capacity` events
-    /// per actor). Fails once the actor retired.
-    pub(crate) fn send(&self, event: E) -> Result<SendOutcome, ()> {
+    /// per actor). Fails once the actor retired. The second half of the `Ok`
+    /// pair counts how many times the sender had to block on a full queue —
+    /// the backpressure-stall figure the telemetry layer tallies.
+    pub(crate) fn send(&self, event: E) -> Result<(SendOutcome, usize), ()> {
         let mut inner = self.inner.lock_np();
+        let mut stalls = 0;
         loop {
             if inner.state == MailboxState::Complete {
                 return Err(());
@@ -86,6 +89,7 @@ impl<E> Mailbox<E> {
             if inner.queue.len() < self.capacity {
                 break;
             }
+            stalls += 1;
             inner = self
                 .space
                 .wait(inner)
@@ -94,9 +98,9 @@ impl<E> Mailbox<E> {
         inner.queue.push_back(event);
         if inner.state == MailboxState::Parked {
             inner.state = MailboxState::Scheduled;
-            Ok(SendOutcome::Unparked)
+            Ok((SendOutcome::Unparked, stalls))
         } else {
-            Ok(SendOutcome::Queued)
+            Ok((SendOutcome::Queued, stalls))
         }
     }
 
@@ -152,24 +156,24 @@ mod tests {
     #[test]
     fn send_unparks_exactly_once() {
         let mailbox: Mailbox<u32> = Mailbox::new(4);
-        assert_eq!(mailbox.send(1), Ok(SendOutcome::Unparked));
+        assert_eq!(mailbox.send(1), Ok((SendOutcome::Unparked, 0)));
         // Already scheduled: further sends only queue.
-        assert_eq!(mailbox.send(2), Ok(SendOutcome::Queued));
+        assert_eq!(mailbox.send(2), Ok((SendOutcome::Queued, 0)));
         let events = mailbox.claim(8);
         assert_eq!(events, vec![1, 2]);
         // Drained and not ready: parks, so the next send unparks again.
         assert!(!mailbox.release(false));
-        assert_eq!(mailbox.send(3), Ok(SendOutcome::Unparked));
+        assert_eq!(mailbox.send(3), Ok((SendOutcome::Unparked, 0)));
     }
 
     #[test]
     fn release_requeues_when_a_send_raced_the_dispatch() {
         let mailbox: Mailbox<u32> = Mailbox::new(4);
-        assert_eq!(mailbox.send(1), Ok(SendOutcome::Unparked));
+        assert_eq!(mailbox.send(1), Ok((SendOutcome::Unparked, 0)));
         let events = mailbox.claim(1);
         assert_eq!(events, vec![1]);
         // A send lands while the actor is Running: no unpark...
-        assert_eq!(mailbox.send(2), Ok(SendOutcome::Queued));
+        assert_eq!(mailbox.send(2), Ok((SendOutcome::Queued, 0)));
         // ...but the release sees the queued event and requeues.
         assert!(mailbox.release(false));
         assert_eq!(mailbox.claim(1), vec![2]);
@@ -179,8 +183,8 @@ mod tests {
     #[test]
     fn retirement_rejects_sends_and_drops_the_queue() {
         let mailbox: Mailbox<u32> = Mailbox::new(4);
-        assert_eq!(mailbox.send(1), Ok(SendOutcome::Unparked));
-        assert_eq!(mailbox.send(2), Ok(SendOutcome::Queued));
+        assert_eq!(mailbox.send(1), Ok((SendOutcome::Unparked, 0)));
+        assert_eq!(mailbox.send(2), Ok((SendOutcome::Queued, 0)));
         assert_eq!(mailbox.retire(), 2);
         assert_eq!(mailbox.send(3), Err(()));
     }
@@ -195,7 +199,7 @@ mod tests {
     #[test]
     fn capacity_clamps_to_one() {
         let mailbox: Mailbox<u32> = Mailbox::new(0);
-        assert_eq!(mailbox.send(7), Ok(SendOutcome::Unparked));
+        assert_eq!(mailbox.send(7), Ok((SendOutcome::Unparked, 0)));
         assert_eq!(mailbox.claim(1), vec![7]);
     }
 }

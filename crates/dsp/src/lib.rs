@@ -29,12 +29,14 @@
 
 pub mod actors;
 pub mod dissemination;
+pub mod obs;
 pub mod server;
 pub mod service;
 pub mod store;
 
 pub use actors::{ActorEngine, ActorReport, ActorSession, ActorStatus, FinishedActor};
 pub use dissemination::{DisseminationChannel, StreamItem};
+pub use obs::{ActorObs, DspObs, ErrorObs, SchedulerObs, ServeObs, SessionObs, ShardObs};
 pub use server::{AtomicServerStats, DspServer, ServerStats};
 pub use service::{
     DspService, FanOutDisseminator, HotPolicy, Schedulable, ScheduleReport, SchedulerEngine,

@@ -12,7 +12,7 @@
 //! service — it cannot drift from the sharded path because it *is* the sharded
 //! path.
 
-use sdds_sync::sync::atomic::{AtomicUsize, Ordering};
+use sdds_obs::{families, Counter, Registry};
 
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;
@@ -74,7 +74,9 @@ impl ServerStats {
     }
 }
 
-/// The live, shared form of [`ServerStats`]: one relaxed atomic per counter.
+/// The live, shared form of [`ServerStats`]: one relaxed [`sdds_obs`]
+/// counter per field, so serving accounting has exactly one implementation
+/// and the same cells surface in [`crate::service::DspService::obs_snapshot`].
 ///
 /// Serving counters are the only thing a DSP read mutates, so keeping them in
 /// atomics is what lets every `fetch_*` run under a shard's **read** lock —
@@ -83,57 +85,72 @@ impl ServerStats {
 /// enough: the counters are independent monotonic tallies, never used to
 /// synchronise other memory, and [`AtomicServerStats::snapshot`] is read
 /// either under the shard's write lock (reset) or after the traffic of
-/// interest quiesced (reporting).
-#[derive(Debug, Default)]
+/// interest quiesced (reporting). Clones share the underlying cells.
+#[derive(Debug, Clone, Default)]
 pub struct AtomicServerStats {
-    requests: AtomicUsize,
-    bytes_served: AtomicUsize,
-    chunks_served: AtomicUsize,
-    rule_blobs_served: AtomicUsize,
-    rule_bytes_served: AtomicUsize,
+    requests: Counter,
+    bytes_served: Counter,
+    chunks_served: Counter,
+    rule_blobs_served: Counter,
+    rule_bytes_served: Counter,
 }
 
 impl AtomicServerStats {
+    /// Stats whose counters are registered in `registry` under the
+    /// `dsp.serve.*` families, labelled with the owning shard (`"shard=3"`),
+    /// so a registry snapshot reports them without a second tally. The
+    /// unlabelled [`Default`] form stays detached — for tests and
+    /// stand-alone stores.
+    pub fn registered(registry: &Registry, label: &str) -> Self {
+        AtomicServerStats {
+            requests: registry.counter_with(families::SERVE_REQUESTS, Some(label)),
+            bytes_served: registry.counter_with(families::SERVE_BYTES, Some(label)),
+            chunks_served: registry.counter_with(families::SERVE_CHUNKS, Some(label)),
+            rule_blobs_served: registry.counter_with(families::SERVE_RULE_BLOBS, Some(label)),
+            rule_bytes_served: registry.counter_with(families::SERVE_RULE_BYTES, Some(label)),
+        }
+    }
+
     /// Records one served document header of `bytes` payload.
     pub fn record_header(&self, bytes: usize) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+        self.requests.inc();
+        self.bytes_served.add(bytes as u64);
     }
 
     /// Records one served chunk (ciphertext + proof) of `bytes` payload.
     pub fn record_chunk(&self, bytes: usize) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
-        self.chunks_served.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.bytes_served.add(bytes as u64);
+        self.chunks_served.inc();
     }
 
     /// Records one served protected rule blob of `bytes` payload.
     pub fn record_rules(&self, bytes: usize) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
-        self.rule_blobs_served.fetch_add(1, Ordering::Relaxed);
-        self.rule_bytes_served.fetch_add(bytes, Ordering::Relaxed);
+        self.requests.inc();
+        self.bytes_served.add(bytes as u64);
+        self.rule_blobs_served.inc();
+        self.rule_bytes_served.add(bytes as u64);
     }
 
     /// A plain-value snapshot of the counters.
     pub fn snapshot(&self) -> ServerStats {
         ServerStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            bytes_served: self.bytes_served.load(Ordering::Relaxed),
-            chunks_served: self.chunks_served.load(Ordering::Relaxed),
-            rule_blobs_served: self.rule_blobs_served.load(Ordering::Relaxed),
-            rule_bytes_served: self.rule_bytes_served.load(Ordering::Relaxed),
+            requests: self.requests.get() as usize,
+            bytes_served: self.bytes_served.get() as usize,
+            chunks_served: self.chunks_served.get() as usize,
+            rule_blobs_served: self.rule_blobs_served.get() as usize,
+            rule_bytes_served: self.rule_bytes_served.get() as usize,
         }
     }
 
     /// Zeroes every counter (call under the owning shard's write lock so no
     /// concurrent serve is torn across the reset).
     pub fn reset(&self) {
-        self.requests.store(0, Ordering::Relaxed);
-        self.bytes_served.store(0, Ordering::Relaxed);
-        self.chunks_served.store(0, Ordering::Relaxed);
-        self.rule_blobs_served.store(0, Ordering::Relaxed);
-        self.rule_bytes_served.store(0, Ordering::Relaxed);
+        self.requests.reset();
+        self.bytes_served.reset();
+        self.chunks_served.reset();
+        self.rule_blobs_served.reset();
+        self.rule_bytes_served.reset();
     }
 }
 

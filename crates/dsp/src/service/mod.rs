@@ -74,13 +74,16 @@ pub use shard::{HotPolicy, ShardedStore};
 
 use std::time::Duration;
 
+use sdds_obs::ObsSnapshot;
 use sdds_sync::sync::atomic::{AtomicU64, Ordering};
+use sdds_sync::sync::Arc;
 
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;
 use sdds_core::CoreError;
 use sdds_crypto::merkle::MerkleProof;
 
+use crate::obs::DspObs;
 use crate::server::ServerStats;
 
 /// Service-time model of one DSP shard (the DSP-side analogue of the card's
@@ -134,18 +137,46 @@ pub struct DspService {
     model: ServiceModel,
     /// Monotone ticket counter handing each new card session a distinct
     /// route salt (replica spreading — see [`DspService::next_session_salt`]).
+    // lint: atomic — a route-salt ticket allocator, not a metric; obs
+    // counters are monotone tallies and cannot hand out distinct values.
     session_tickets: AtomicU64,
+    /// Telemetry bundle: registry, flight recorder, per-layer handles.
+    obs: Arc<DspObs>,
 }
 
 impl DspService {
     /// Creates a service with `shards` shards and the LAN service model
     /// (`0` shards clamps to 1 — see [`ShardedStore::new`]).
     pub fn new(shards: usize) -> Self {
+        let obs = Arc::new(DspObs::new(shards.max(1)));
         DspService {
-            store: ShardedStore::new(shards),
+            store: ShardedStore::new(shards).with_obs(obs.serve()),
             model: ServiceModel::lan(),
+            // lint: atomic — route-salt ticket allocator (see field docs).
             session_tickets: AtomicU64::new(0),
+            obs,
         }
+    }
+
+    /// The service's telemetry bundle — scheduler, actor-engine and card
+    /// session instrumentation clone their handles from here, so one
+    /// [`DspService::obs_snapshot`] covers every layer of a run.
+    pub fn obs(&self) -> &Arc<DspObs> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric the service's registry
+    /// holds: per-shard serving counters, latency histograms, scheduler /
+    /// actor-engine counters, card-session traffic and the labelled error
+    /// tallies.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Dumps the service's flight recorder (recent serve / step / dispatch
+    /// spans) as JSON — the on-demand post-mortem artifact.
+    pub fn flight_recorder_json(&self) -> String {
+        self.obs.recorder().dump_json()
     }
 
     /// Replaces the service-time model.

@@ -37,6 +37,7 @@ use sdds_sync::sync::{Condvar, Mutex, MutexExt};
 use sdds_sync::thread;
 
 use crate::actors::{ActorEngine, ActorSession, ActorStatus};
+use crate::obs::{ActorObs, DspObs, SchedulerObs};
 
 /// What a step of a session reports back to the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,11 +121,17 @@ pub enum SchedulerEngine {
 }
 
 /// A work-conserving round-robin scheduler over a fixed worker pool.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SessionScheduler {
     workers: usize,
     quantum: usize,
     engine: SchedulerEngine,
+    /// Thread-engine telemetry (queue depth, steps, step latency); detached
+    /// until [`SessionScheduler::with_obs`] wires it.
+    obs: SchedulerObs,
+    /// Actor-engine telemetry, forwarded to the [`ActorEngine`] when the
+    /// actor engine is selected.
+    actor_obs: ActorObs,
 }
 
 /// Adapter running a [`Schedulable`] on the actor engine: each dispatch
@@ -168,7 +175,18 @@ impl SessionScheduler {
             workers: workers.max(1),
             quantum: quantum.max(1),
             engine: SchedulerEngine::default(),
+            obs: SchedulerObs::detached(),
+            actor_obs: ActorObs::detached(),
         }
+    }
+
+    /// Wires the scheduler's telemetry (run-queue depth, step counters and
+    /// latency, and — on the actor engine — the park/steal protocol) into
+    /// `obs`'s cells so a service-wide snapshot covers the scheduling layer.
+    pub fn with_obs(mut self, obs: &DspObs) -> Self {
+        self.obs = obs.scheduler();
+        self.actor_obs = obs.actors();
+        self
     }
 
     /// Selects the execution engine (defaults to
@@ -227,7 +245,9 @@ impl SessionScheduler {
                 steps: 0,
             })
             .collect();
-        let report = ActorEngine::new(self.workers).run_ready(actors);
+        let report = ActorEngine::new(self.workers)
+            .with_obs(self.actor_obs.clone())
+            .run_ready(actors);
         let steps_total = report.dispatches_total;
         let mut finished: Vec<FinishedSession<S>> = report
             .actors
@@ -263,14 +283,23 @@ impl SessionScheduler {
                 })
                 .collect(),
         );
+        if self.obs.live {
+            self.obs.queue_depth.set(queue.lock_np().len() as u64);
+        }
         let runnable = Condvar::new();
         let in_flight = AtomicUsize::new(0);
         let finished: Mutex<Vec<FinishedSession<S>>> = Mutex::new(Vec::new());
         let steps_total = AtomicUsize::new(0);
 
         thread::scope(|scope| {
-            for _ in 0..self.workers {
-                scope.spawn(|| loop {
+            for worker in 0..self.workers {
+                let queue = &queue;
+                let runnable = &runnable;
+                let in_flight = &in_flight;
+                let finished = &finished;
+                let steps_total = &steps_total;
+                let obs = &self.obs;
+                scope.spawn(move || loop {
                     let job = {
                         let mut q = queue.lock_np();
                         loop {
@@ -279,6 +308,9 @@ impl SessionScheduler {
                                 // before the queue lock drops — the exit check
                                 // below reads it under the same lock.
                                 in_flight.fetch_add(1, Ordering::SeqCst);
+                                if obs.live {
+                                    obs.queue_depth.set(q.len() as u64);
+                                }
                                 break Some(job);
                             }
                             // A stepping worker requeues *before* decrementing
@@ -308,10 +340,25 @@ impl SessionScheduler {
                     };
                     job.steps += 1;
                     steps_total.fetch_add(1, Ordering::Relaxed);
+                    let started = if obs.live {
+                        obs.recorder.now_nanos()
+                    } else {
+                        0
+                    };
                     let outcome = job.session.step(self.quantum);
+                    if obs.live {
+                        let duration = obs.recorder.now_nanos().saturating_sub(started);
+                        obs.steps.inc();
+                        obs.step_latency.record(duration);
+                        obs.recorder.record(worker, "sched.step", started, duration);
+                    }
                     match outcome {
                         Ok(StepOutcome::Pending) => {
-                            queue.lock_np().push_back(job);
+                            let mut q = queue.lock_np();
+                            q.push_back(job);
+                            if obs.live {
+                                obs.queue_depth.set(q.len() as u64);
+                            }
                         }
                         Ok(StepOutcome::Complete) | Err(_) => {
                             let mut done = finished.lock_np();

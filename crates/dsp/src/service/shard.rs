@@ -48,6 +48,7 @@ use sdds_core::CoreError;
 use sdds_crypto::merkle::MerkleProof;
 use sdds_xml::symbols::Fnv1a;
 
+use crate::obs::ServeObs;
 use crate::server::{AtomicServerStats, ServerStats};
 use crate::store::{DocumentRecord, DspStore};
 
@@ -185,6 +186,12 @@ pub struct ShardedStore {
     /// no replication shares no routing state between shards at all.
     replicated: AtomicUsize,
     hot: Option<HotPolicy>,
+    /// Serving telemetry: latency spans, routing and error counters. The
+    /// payload accounting itself stays in each shard's
+    /// [`AtomicServerStats`]; `obs` only adds parallel tallies, so the
+    /// deterministic per-shard byte counts the capacity model reads are
+    /// untouched by instrumentation.
+    obs: ServeObs,
 }
 
 impl ShardedStore {
@@ -200,7 +207,25 @@ impl ShardedStore {
             directory: RwLock::new(HashMap::new()),
             replicated: AtomicUsize::new(0),
             hot: None,
+            obs: ServeObs::detached(count),
         }
+    }
+
+    /// Attaches registry-backed serving telemetry (see
+    /// [`crate::obs::DspObs`]): each shard's [`AtomicServerStats`] is
+    /// swapped for the registered cells of `obs`, so the registry snapshot
+    /// reports the same counters [`ShardedStore::stats`] merges. Call at
+    /// construction time, before any document is served.
+    pub fn with_obs(self, obs: ServeObs) -> Self {
+        for (index, shard) in self.shards.iter().enumerate() {
+            shard.write_np().stats = obs.shard(index).stats.clone();
+        }
+        ShardedStore { obs, ..self }
+    }
+
+    /// The serving telemetry handles.
+    pub fn obs(&self) -> &ServeObs {
+        &self.obs
     }
 
     /// Enables threshold-driven replication: once a document's serve count
@@ -264,25 +289,54 @@ impl ShardedStore {
         salt: u64,
         serve: impl Fn(&DocumentRecord, &AtomicServerStats) -> Result<T, CoreError>,
     ) -> Result<T, CoreError> {
+        let started = if self.obs.live {
+            self.obs.recorder.now_nanos()
+        } else {
+            0
+        };
         let home = self.shard_of(doc_id);
         let routed = self.route(doc_id, salt);
+        let (served, served_on) = self.serve_routed(doc_id, home, routed, serve);
+        self.obs
+            .finish_serve(served_on, started, served.as_ref().err());
+        served
+    }
+
+    /// The routing body of [`ShardedStore::serve`], split out so the serve
+    /// wrapper can account latency and errors against the shard that
+    /// actually answered (returned alongside the result).
+    fn serve_routed<T>(
+        &self,
+        doc_id: &str,
+        home: usize,
+        routed: usize,
+        serve: impl Fn(&DocumentRecord, &AtomicServerStats) -> Result<T, CoreError>,
+    ) -> (Result<T, CoreError>, usize) {
         if routed != home {
             let shard = self.shards[routed].read_np();
             if let Some(record) = shard.replicas.get(doc_id) {
                 let served = serve(record.as_ref(), &shard.stats);
                 drop(shard);
+                if self.obs.live {
+                    self.obs.shard(routed).replica_routes.inc();
+                }
                 self.note_serve(doc_id);
-                return served;
+                return (served, routed);
             }
         }
         let shard = self.shards[home].read_np();
-        let record = shard.store.get(doc_id).ok_or_else(|| CoreError::NotFound {
-            doc_id: doc_id.to_owned(),
-        })?;
+        let Some(record) = shard.store.get(doc_id) else {
+            return (
+                Err(CoreError::NotFound {
+                    doc_id: doc_id.to_owned(),
+                }),
+                home,
+            );
+        };
         let served = serve(record, &shard.stats);
         drop(shard);
         self.note_serve(doc_id);
-        served
+        (served, home)
     }
 
     /// Counts one serve towards the hot threshold and replicates on the

@@ -20,9 +20,14 @@
 //!   bugs and the model checker turns it into a plain yield anyway.
 //! - **forbid-unsafe** — every first-party crate root carries
 //!   `#![forbid(unsafe_code)]`.
+//! - **adhoc-atomic** — no new ad-hoc `AtomicU64` counters in service code
+//!   outside `sdds-obs`: register a `Counter`/`Gauge`/`Histogram` so the
+//!   metric shows up in `ObsSnapshot`; `// lint: atomic` (with a reason) is
+//!   the escape hatch for atomics that are not metrics.
 //! - **doc-sync** — every experiment bench (`crates/bench/benches/e*.rs`)
-//!   must be named in the ARCHITECTURE.md experiment table, so the book
-//!   cannot silently fall behind the benches.
+//!   must be named in the ARCHITECTURE.md experiment table, and every metric
+//!   family declared in `crates/obs/src/families.rs` must appear in the
+//!   book's metric table, so the book cannot silently fall behind the code.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -40,7 +45,10 @@ pub enum Rule {
     NoSleep,
     /// Missing `#![forbid(unsafe_code)]` on a crate root.
     ForbidUnsafe,
-    /// An experiment bench file missing from ARCHITECTURE.md.
+    /// Ad-hoc `AtomicU64` counter construction outside `sdds-obs`.
+    AdhocAtomic,
+    /// An experiment bench file or metric family missing from
+    /// ARCHITECTURE.md.
     DocSync,
 }
 
@@ -53,6 +61,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::NoSleep => "no-sleep",
             Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::AdhocAtomic => "adhoc-atomic",
             Rule::DocSync => "doc-sync",
         }
     }
@@ -98,6 +107,9 @@ pub struct FileRules {
     pub ordering: bool,
     /// Require `#![forbid(unsafe_code)]` (crate roots only).
     pub forbid_unsafe: bool,
+    /// Forbid ad-hoc `AtomicU64::new` counters (service code outside
+    /// `sdds-obs`).
+    pub adhoc_atomic: bool,
 }
 
 /// A source file ready to scan: raw text plus derived views.
@@ -462,6 +474,29 @@ pub fn scan_file(path: &Path, contents: &str, rules: FileRules) -> Vec<Violation
         }
     }
 
+    if rules.adhoc_atomic {
+        for needle in ["AtomicU64::new"] {
+            for at in token_positions(&src.code, needle) {
+                if src.in_test(at) {
+                    continue;
+                }
+                let line = src.line_of(at);
+                if src.escaped(line, "// lint: atomic") {
+                    continue;
+                }
+                push(
+                    line,
+                    Rule::AdhocAtomic,
+                    format!(
+                        "ad-hoc `{needle}` counter in service code: register a \
+                         Counter/Gauge/Histogram with sdds-obs so it shows up in \
+                         ObsSnapshot, or justify with `// lint: atomic — <reason>`"
+                    ),
+                );
+            }
+        }
+    }
+
     if rules.ordering {
         for variant in ["Acquire", "Release", "AcqRel", "SeqCst"] {
             let needle = format!("Ordering::{variant}");
@@ -511,6 +546,46 @@ pub fn check_doc_sync(book_path: &Path, book: &str, bench_files: &[String]) -> V
         .collect()
 }
 
+/// Extracts metric family strings from the raw text of
+/// `crates/obs/src/families.rs`: every `pub const NAME: &str = "…";` line
+/// contributes its quoted string. Raw-text on purpose — the naming authority
+/// is a flat list of literals and must stay greppable.
+pub fn metric_families(families_src: &str) -> Vec<String> {
+    families_src
+        .lines()
+        .filter_map(|line| {
+            let trimmed = line.trim_start();
+            trimmed.strip_prefix("pub const ")?;
+            if !trimmed.contains(": &str") {
+                return None;
+            }
+            let open = trimmed.find('"')? + 1;
+            let close = open + trimmed[open..].find('"')?;
+            Some(trimmed[open..close].to_owned())
+        })
+        .collect()
+}
+
+/// Checks the metric half of the doc-sync contract: every metric family
+/// registered in `sdds-obs` (as listed in `families`) must appear verbatim in
+/// the architecture book's metric table. `book_path` is the path reported in
+/// violations (ARCHITECTURE.md).
+pub fn check_metric_sync(book_path: &Path, book: &str, families: &[String]) -> Vec<Violation> {
+    families
+        .iter()
+        .filter(|family| !book.contains(family.as_str()))
+        .map(|family| Violation {
+            file: book_path.to_path_buf(),
+            line: 1,
+            rule: Rule::DocSync,
+            message: format!(
+                "metric family `{family}` is registered in sdds-obs but missing \
+                 from the architecture book's metric table; add a row for it"
+            ),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,6 +596,7 @@ mod tests {
         no_panic: true,
         ordering: true,
         forbid_unsafe: false,
+        adhoc_atomic: true,
     };
 
     fn scan(contents: &str) -> Vec<Violation> {
@@ -664,6 +740,41 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::DocSync);
         assert!(v[0].message.contains("e12_future_work.rs"));
+    }
+
+    #[test]
+    fn flags_adhoc_atomic_and_honours_escape() {
+        let v = scan("fn f() { let c = AtomicU64::new(0); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AdhocAtomic);
+
+        let v = scan("fn f() {\n    // lint: atomic — ticket allocator, not a metric\n    let c = AtomicU64::new(0);\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+
+        // Loads/stores on an existing atomic are fine; only construction of
+        // a new cell is policed.
+        let v = scan("fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn metric_families_extracts_quoted_strings() {
+        let src = "pub const A: &str = \"dsp.serve.requests\";\n\
+                   // pub const COMMENTED: &str = \"nope\";\n\
+                   pub const B: &str = \"sched.steps\";\n\
+                   const PRIVATE: &str = \"hidden\";\n";
+        let families = metric_families(src);
+        assert_eq!(families, vec!["dsp.serve.requests", "sched.steps"]);
+    }
+
+    #[test]
+    fn metric_sync_flags_undocumented_families_only() {
+        let book = "| `dsp.serve.requests` | counter | per-shard serves |\n";
+        let families = ["dsp.serve.requests".to_owned(), "sched.steps".to_owned()];
+        let v = check_metric_sync(Path::new("ARCHITECTURE.md"), book, &families);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DocSync);
+        assert!(v[0].message.contains("sched.steps"));
     }
 
     #[test]

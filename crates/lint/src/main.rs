@@ -8,7 +8,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use sdds_lint::{check_doc_sync, scan_file, FileRules, Violation};
+use sdds_lint::{
+    check_doc_sync, check_metric_sync, metric_families, scan_file, FileRules, Violation,
+};
 
 /// First-party crate directories, relative to the workspace root. Vendored
 /// crates (`vendor/`) are deliberately out of scope.
@@ -24,13 +26,14 @@ const CRATES: &[&str] = &[
     "crates/sync",
     "crates/check",
     "crates/lint",
+    "crates/obs",
     ".",
 ];
 
 /// Crates whose library code must route synchronization through `sdds-sync`
 /// and never sleep: the serving core the model checker instruments, plus the
-/// facade crate that drives it.
-const FACADE_CRATES: &[&str] = &["crates/dsp", "crates/proxy", "."];
+/// facade crate that drives it and the telemetry layer they embed.
+const FACADE_CRATES: &[&str] = &["crates/dsp", "crates/proxy", "crates/obs", "."];
 
 fn workspace_root() -> PathBuf {
     // crates/lint/ -> crates/ -> workspace root.
@@ -74,6 +77,9 @@ fn rules_for(crate_dir: &str, path: &Path) -> FileRules {
         ordering: true,
         // lib.rs is always a crate root; main.rs is the root of a bin crate.
         forbid_unsafe: name == "lib.rs" || name == "main.rs",
+        // sdds-obs is where the metric cells live; everywhere else in the
+        // facade-routed service code, a fresh AtomicU64 is a shadow metric.
+        adhoc_atomic: is_facade_scope && crate_dir != "crates/obs",
     }
 }
 
@@ -106,7 +112,9 @@ fn run() -> Result<Vec<Violation>, String> {
 }
 
 /// The doc-sync rule: every `crates/bench/benches/e*.rs` experiment bench
-/// must be named in ARCHITECTURE.md's experiment table.
+/// must be named in ARCHITECTURE.md's experiment table, and every metric
+/// family declared in `crates/obs/src/families.rs` must appear in the book's
+/// metric table.
 fn doc_sync(root: &Path) -> Result<Vec<Violation>, String> {
     let benches_dir = root.join("crates/bench/benches");
     let mut files = Vec::new();
@@ -121,7 +129,17 @@ fn doc_sync(root: &Path) -> Result<Vec<Violation>, String> {
     let book_path = Path::new("ARCHITECTURE.md");
     let book = std::fs::read_to_string(root.join(book_path))
         .map_err(|e| format!("reading {}: {e}", book_path.display()))?;
-    Ok(check_doc_sync(book_path, &book, &bench_files))
+    let mut violations = check_doc_sync(book_path, &book, &bench_files);
+
+    let families_path = root.join("crates/obs/src/families.rs");
+    let families_src = std::fs::read_to_string(&families_path)
+        .map_err(|e| format!("reading {}: {e}", families_path.display()))?;
+    violations.extend(check_metric_sync(
+        book_path,
+        &book,
+        &metric_families(&families_src),
+    ));
+    Ok(violations)
 }
 
 fn main() -> ExitCode {

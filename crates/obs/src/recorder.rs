@@ -1,0 +1,310 @@
+//! Scoped spans and the per-lane flight recorder.
+//!
+//! The recorder is the post-mortem tool: a fixed set of lanes (one per
+//! worker, shard group, or whatever the caller keys on), each a
+//! fixed-capacity ring that overwrites its oldest record. Slots are
+//! pre-allocated and labels are `&'static str`, so recording never
+//! allocates; each push takes only that lane's mutex, which under
+//! `--cfg sdds_check` is the shim mutex the model checker instruments.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use sdds_sync::sync::atomic::{AtomicU64, Ordering};
+use sdds_sync::sync::{Arc, Mutex, MutexExt};
+
+use crate::metrics::json_escape;
+
+/// A time source for spans: nanoseconds since an arbitrary epoch.
+pub trait Clock: Send + Sync {
+    /// Current time in nanoseconds.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Real wall-clock time, measured from the clock's construction.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: std::time::Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock {
+            epoch: std::time::Instant::now(),
+        }
+    }
+}
+
+impl WallClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock::default()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic clock the caller advances by hand — the simulated-time
+/// counterpart of [`WallClock`] for tests and model-checked runs.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Jumps to an absolute time.
+    pub fn set(&self, nanos: u64) {
+        self.now.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Advances by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.now.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+/// One recorded span: what ran, where, when, and for how long.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Global admission order (monotone across all lanes).
+    pub seq: u64,
+    /// Lane the record was written to.
+    pub lane: usize,
+    /// Static span label, e.g. `"dsp.serve"`.
+    pub label: &'static str,
+    /// Span start, clock nanoseconds.
+    pub start_nanos: u64,
+    /// Span duration, nanoseconds.
+    pub duration_nanos: u64,
+}
+
+const EMPTY_RECORD: FlightRecord = FlightRecord {
+    seq: 0,
+    lane: 0,
+    label: "",
+    start_nanos: 0,
+    duration_nanos: 0,
+};
+
+/// One lane's ring: pre-allocated slots, overwrite-oldest.
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<FlightRecord>,
+    next: usize,
+    filled: usize,
+}
+
+impl Ring {
+    fn with_capacity(capacity: usize) -> Self {
+        Ring {
+            slots: vec![EMPTY_RECORD; capacity],
+            next: 0,
+            filled: 0,
+        }
+    }
+
+    fn push(&mut self, record: FlightRecord) {
+        if let Some(slot) = self.slots.get_mut(self.next) {
+            *slot = record;
+        }
+        self.next = (self.next + 1) % self.slots.len().max(1);
+        self.filled = (self.filled + 1).min(self.slots.len());
+    }
+
+    /// Records oldest-first.
+    fn records(&self) -> Vec<FlightRecord> {
+        let start = if self.filled < self.slots.len() {
+            0
+        } else {
+            self.next
+        };
+        (0..self.filled)
+            .filter_map(|i| self.slots.get((start + i) % self.slots.len().max(1)))
+            .copied()
+            .collect()
+    }
+}
+
+struct RecorderInner {
+    lanes: Vec<Mutex<Ring>>,
+    seq: AtomicU64,
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+}
+
+/// The flight recorder: bounded per-lane rings of recent spans, dumpable as
+/// JSON on demand or on failure. Cloning shares the rings.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("lanes", &self.inner.lanes.len())
+            .field("capacity", &self.inner.capacity)
+            .field("recorded", &self.inner.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with `lanes` rings of `capacity` slots each, on the real
+    /// wall clock. Both arguments are clamped to at least 1.
+    pub fn new(lanes: usize, capacity: usize) -> Self {
+        FlightRecorder::with_clock(lanes, capacity, Arc::new(WallClock::new()))
+    }
+
+    /// Same, on a caller-supplied clock (e.g. a shared [`ManualClock`]).
+    pub fn with_clock(lanes: usize, capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        let lanes = lanes.max(1);
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                lanes: (0..lanes)
+                    .map(|_| Mutex::new(Ring::with_capacity(capacity)))
+                    .collect(),
+                seq: AtomicU64::new(0),
+                clock,
+                capacity,
+            }),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.inner.lanes.len()
+    }
+
+    /// Slots per lane.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Current clock reading.
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.clock.now_nanos()
+    }
+
+    /// Opens a span on `lane` (wrapped into range); the span records itself
+    /// when dropped or [`Span::finish`]ed.
+    pub fn span(&self, lane: usize, label: &'static str) -> Span<'_> {
+        Span {
+            recorder: self,
+            lane,
+            label,
+            start_nanos: self.now_nanos(),
+            armed: true,
+        }
+    }
+
+    /// Writes one record directly (spans call this on close).
+    pub fn record(&self, lane: usize, label: &'static str, start_nanos: u64, duration_nanos: u64) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let record = FlightRecord {
+            seq,
+            lane: lane % self.inner.lanes.len().max(1),
+            label,
+            start_nanos,
+            duration_nanos,
+        };
+        if let Some(ring) = self.inner.lanes.get(record.lane) {
+            ring.lock_np().push(record);
+        }
+    }
+
+    /// Spans admitted since construction (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Every surviving record across all lanes, in admission order.
+    pub fn records(&self) -> Vec<FlightRecord> {
+        let mut all: Vec<FlightRecord> = self
+            .inner
+            .lanes
+            .iter()
+            .flat_map(|lane| lane.lock_np().records())
+            .collect();
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+
+    /// Dumps the surviving records as a JSON object — the on-demand /
+    /// on-failure post-mortem artifact.
+    pub fn dump_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"sdds-obs-flight-v1\",");
+        let _ = write!(
+            out,
+            "\n  \"lanes\": {},\n  \"capacity\": {},\n  \"recorded\": {},\n  \"records\": [",
+            self.lanes(),
+            self.capacity(),
+            self.recorded()
+        );
+        for (i, r) in self.records().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"seq\": {}, \"lane\": {}, \"label\": \"{}\", \
+                 \"start_nanos\": {}, \"duration_nanos\": {}}}",
+                r.seq,
+                r.lane,
+                json_escape(r.label),
+                r.start_nanos,
+                r.duration_nanos
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// A scoped span: measures from creation to drop (or explicit
+/// [`finish`](Span::finish)) and writes one [`FlightRecord`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a FlightRecorder,
+    lane: usize,
+    label: &'static str,
+    start_nanos: u64,
+    armed: bool,
+}
+
+impl Span<'_> {
+    /// Closes the span now and returns its duration in nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        self.armed = false;
+        let duration = self.recorder.now_nanos().saturating_sub(self.start_nanos);
+        self.recorder
+            .record(self.lane, self.label, self.start_nanos, duration);
+        duration
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.close();
+        }
+    }
+}

@@ -28,7 +28,7 @@ use std::time::Duration;
 use sdds_card::apdu::{ins, Apdu};
 use sdds_card::{BatchedChannel, CostModel};
 use sdds_dsp::service::{Schedulable, StepOutcome};
-use sdds_dsp::DspService;
+use sdds_dsp::{DspService, SessionObs};
 
 use crate::proxy::{ProxyError, Terminal};
 
@@ -71,6 +71,9 @@ pub struct CardSession {
     /// identical requests from different sessions spread over a hot
     /// document's replicas (see `DspService::next_session_salt`).
     route_salt: u64,
+    /// Card-session telemetry cells shared with the service's registry
+    /// (APDU round-trips and wire bytes, counted per coalesced batch).
+    obs: SessionObs,
 }
 
 impl std::fmt::Debug for CardSession {
@@ -87,6 +90,7 @@ impl CardSession {
     pub(crate) fn new(terminal: Terminal, service: Arc<DspService>, doc_id: String) -> Self {
         let channel = terminal.cost_model().channel;
         let route_salt = service.next_session_salt();
+        let obs = service.obs().session();
         CardSession {
             terminal,
             service,
@@ -98,6 +102,7 @@ impl CardSession {
             error: None,
             failure: None,
             route_salt,
+            obs,
         }
     }
 
@@ -204,6 +209,8 @@ impl CardSession {
         // (responses are bare status words, 2 bytes each).
         self.batched.queue(blob.len(), 2);
         self.batched.queue(header_bytes.len(), 2);
+        self.obs.record_exchange(blob.len(), 2);
+        self.obs.record_exchange(header_bytes.len(), 2);
         self.phase = SessionPhase::Streaming;
         Ok(())
     }
@@ -228,6 +235,7 @@ impl CardSession {
             // NEXT_REQUEST command and chunk payload out, the 4-byte index
             // answer and a status word back.
             self.batched.queue(pushed + 5, 6);
+            self.obs.record_exchange(pushed + 5, 6);
         }
         Ok(false)
     }
@@ -240,6 +248,8 @@ impl CardSession {
         // the simulated latency really covers the whole session.
         self.batched.queue(5, view.len() + 2);
         self.batched.queue(5, 2);
+        self.obs.record_exchange(5, view.len() + 2);
+        self.obs.record_exchange(5, 2);
         self.view = Some(view);
         self.phase = SessionPhase::Done;
         Ok(())

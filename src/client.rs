@@ -30,6 +30,7 @@ use sdds_core::session::{KeyProvisioning, ProtectedRules, TrustedServer};
 use sdds_core::{AccessPolicy, Query};
 use sdds_crypto::SecretKey;
 use sdds_dsp::{DspService, ServerStats};
+use sdds_obs::ObsSnapshot;
 use sdds_proxy::{CardSession, SimulatedPki, Terminal};
 use sdds_xml::Document;
 
@@ -189,6 +190,15 @@ impl Publisher {
     /// Merged serving statistics of the service.
     pub fn stats(&self) -> ServerStats {
         self.service.stats()
+    }
+
+    /// A point-in-time telemetry snapshot of the shared service: serving
+    /// counters and latency histograms per shard, scheduler/actor-engine
+    /// activity, card-session traffic and the labelled error tallies.
+    /// Render it with [`ObsSnapshot::to_json`] or
+    /// [`ObsSnapshot::to_prometheus`].
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.service.obs_snapshot()
     }
 
     /// Every subject whose protected rules must be kept on the DSP: the
@@ -427,6 +437,12 @@ impl Client {
     /// The service handle this client pulls from.
     pub fn service(&self) -> &Arc<DspService> {
         &self.service
+    }
+
+    /// A point-in-time telemetry snapshot of the service this client pulls
+    /// from (see [`Publisher::obs_snapshot`]).
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.service.obs_snapshot()
     }
 
     /// The card hardware profile of this client.

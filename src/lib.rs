@@ -71,6 +71,7 @@ pub use sdds_core::conflict::AccessPolicy;
 pub use sdds_core::rule::{RuleSet, Sign, Subject};
 pub use sdds_dsp::service::{SchedulerEngine, SessionScheduler};
 pub use sdds_dsp::DspService;
+pub use sdds_obs::{FlightRecorder, ObsSnapshot};
 pub use sdds_proxy::{CardSession, SimulatedPki, Terminal};
 pub use sdds_xml::{Document, Event};
 
@@ -79,6 +80,7 @@ pub use sdds_card as card;
 pub use sdds_core as core;
 pub use sdds_crypto as crypto;
 pub use sdds_dsp as dsp;
+pub use sdds_obs as obs;
 pub use sdds_proxy as proxy;
 pub use sdds_xml as xml;
 pub use sdds_xpath as xpath;

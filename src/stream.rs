@@ -14,7 +14,7 @@ use sdds_sync::sync::Arc;
 use std::collections::VecDeque;
 
 use sdds_core::engine::{SecureEvaluationSession, SessionRequest, SessionStats};
-use sdds_dsp::DspService;
+use sdds_dsp::{DspService, SessionObs};
 use sdds_xml::{writer, Event};
 
 use crate::error::SddsError;
@@ -41,6 +41,9 @@ pub struct ViewStream {
     session: Option<SecureEvaluationSession>,
     buffer: VecDeque<Event>,
     stats: Option<SessionStats>,
+    /// Session telemetry cells shared with the service's registry (chunk
+    /// round-trips, wire bytes, events yielded to the application).
+    obs: SessionObs,
 }
 
 impl std::fmt::Debug for ViewStream {
@@ -60,6 +63,7 @@ impl ViewStream {
         revision: u64,
         session: SecureEvaluationSession,
     ) -> Self {
+        let obs = service.obs().session();
         ViewStream {
             service,
             doc_id,
@@ -67,6 +71,7 @@ impl ViewStream {
             session: Some(session),
             buffer: VecDeque::new(),
             stats: None,
+            obs,
         }
     }
 
@@ -121,6 +126,7 @@ impl ViewStream {
                 let wire = chunk.len() + proof.encode().len();
                 let produced_len: usize = produced.iter().map(Event::serialized_len).sum();
                 session.record_exchange(wire, produced_len);
+                self.obs.record_exchange(wire, produced_len);
                 self.buffer.extend(produced);
                 Ok(false)
             }
@@ -134,6 +140,7 @@ impl Iterator for ViewStream {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if let Some(event) = self.buffer.pop_front() {
+                self.obs.event_delivered();
                 return Some(Ok(event));
             }
             // Stream over (normally or poisoned): nothing further to yield.

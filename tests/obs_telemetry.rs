@@ -1,0 +1,115 @@
+//! Facade-level telemetry regression tests: the `ObsSnapshot` exposed by
+//! [`sdds::Client::obs_snapshot`] must reflect what actually happened on the
+//! serve, session, and error paths.
+//!
+//! The deterministic centrepiece is republish-under-reader: a stream pins
+//! the revision it opened at, a republish lands between two `next()` calls,
+//! and the resulting typed `StaleRevision` must show up both as the labelled
+//! `dsp.errors{error=stale_revision}` counter and in the per-shard
+//! `dsp.serve.stale_revisions` family.
+
+use sdds::obs::families;
+use sdds::{Client, Publisher, RuleSet, SddsError};
+use sdds_xml::generator::{self, GeneratorConfig, HospitalProfile};
+
+fn publisher() -> Publisher {
+    let rules = RuleSet::parse(
+        "+, doctor, //patient\n-, doctor, //patient/ssn\n+, secretary, //patient/name",
+    )
+    .unwrap();
+    // Small chunks force multi-chunk sessions, so a mid-stream republish has
+    // a chunk fetch left to go stale on.
+    Publisher::builder(b"hospital-2005")
+        .rules(rules)
+        .chunk_size(128)
+        .build()
+        .unwrap()
+}
+
+fn hospital(patients: usize) -> sdds_xml::Document {
+    generator::hospital(
+        &HospitalProfile {
+            patients,
+            ..HospitalProfile::default()
+        },
+        &GeneratorConfig::default(),
+    )
+}
+
+#[test]
+fn authorized_view_populates_serve_and_session_telemetry() {
+    let publisher = publisher();
+    publisher.publish("folders", &hospital(4)).unwrap();
+    let client = Client::builder("doctor").provision(&publisher).unwrap();
+
+    let view = client.authorized_view("folders").unwrap();
+    assert!(view.contains("<patient"));
+
+    let snapshot = client.obs_snapshot();
+    assert!(
+        snapshot.counter(families::SERVE_REQUESTS) > 0,
+        "serves must be counted: {snapshot:?}"
+    );
+    assert!(snapshot.counter(families::SERVE_BYTES) > 0);
+    assert!(snapshot.counter(families::SESSION_APDUS) > 0);
+    assert!(snapshot.counter(families::SESSION_WIRE_BYTES) > 0);
+    let latency = snapshot
+        .histogram(families::SERVE_LATENCY)
+        .expect("serve latency histogram is registered");
+    assert!(latency.count > 0, "every serve records a latency sample");
+    assert_eq!(
+        snapshot.counter(families::ERRORS),
+        0,
+        "clean run: no errors"
+    );
+}
+
+#[test]
+fn republish_under_reader_counts_stale_revisions() {
+    let publisher = publisher();
+    publisher.publish("folders", &hospital(4)).unwrap();
+    let client = Client::builder("doctor").provision(&publisher).unwrap();
+
+    let mut stream = client.open_stream("folders").unwrap();
+    let first = stream.next().expect("document is non-empty").unwrap();
+    assert!(matches!(first, sdds::Event::Open { .. }));
+
+    // The republish lands while the stream still has chunks to pull; its
+    // pinned revision is now stale, so draining must fail typed.
+    publisher.publish("folders", &hospital(5)).unwrap();
+    let outcome = stream.collect_view();
+    assert!(
+        matches!(outcome, Err(SddsError::StaleRevision { .. })),
+        "mid-stream republish must surface as StaleRevision: {outcome:?}"
+    );
+
+    let snapshot = client.obs_snapshot();
+    assert!(
+        snapshot.counter_with(families::ERRORS, families::ERROR_STALE_REVISION) > 0,
+        "stale serve must increment the labelled error counter: {snapshot:?}"
+    );
+    assert!(
+        snapshot.counter(families::SERVE_STALE) > 0,
+        "stale serve must also be attributed to a shard: {snapshot:?}"
+    );
+    assert!(
+        snapshot.counter(families::SESSION_EVENTS) > 0,
+        "events yielded before the failure were still delivered"
+    );
+}
+
+#[test]
+fn missing_document_counts_not_found() {
+    let publisher = publisher();
+    publisher.publish("folders", &hospital(2)).unwrap();
+    let client = Client::builder("doctor").provision(&publisher).unwrap();
+
+    let outcome = client.authorized_view("no-such-document");
+    assert!(outcome.is_err(), "missing document must fail");
+
+    let snapshot = client.obs_snapshot();
+    assert!(
+        snapshot.counter_with(families::ERRORS, families::ERROR_NOT_FOUND) > 0,
+        "NotFound must increment the labelled error counter: {snapshot:?}"
+    );
+}
