@@ -205,6 +205,8 @@ impl SecureDocument {
 
 /// Decrypts one chunk given the document key and header (used by the SOE after
 /// integrity verification).
+// taint: source — re-introduces cleartext from a verified ciphertext chunk;
+// callable only on the card side, which holds the document key.
 pub fn decrypt_chunk(
     key: &SecretKey,
     header: &DocumentHeader,

@@ -46,6 +46,8 @@ impl ProtectedRules {
     }
 
     /// Seals `rules` under `key` (the rule-protection key of the community).
+    // taint: sink — cleartext rules leave here only as an encrypted, MACed
+    // blob the DSP can store but not read.
     pub fn seal(rules: &RuleSet, key: &SecretKey) -> Self {
         let payload = rules.encode();
         let enc_key = key.subkey("rules-enc");
@@ -167,6 +169,8 @@ impl KeyProvisioning {
     }
 
     /// Wraps `key` for a card holding `transport_key`.
+    // taint: sink — the document key crosses to the card only AES-wrapped
+    // and MACed under the per-card transport key.
     pub fn wrap(key_id: u32, key: &SecretKey, transport_key: &SecretKey) -> Self {
         let enc_key = transport_key.subkey("kw-enc");
         let mac_key = transport_key.subkey("kw-mac");
@@ -223,6 +227,8 @@ impl KeyProvisioning {
     }
 
     /// Unwraps the key on the card side.
+    // taint: source — recovers the cleartext key inside the SOE after the
+    // MAC check; the result never leaves the card.
     pub fn unwrap_key(&self, transport_key: &SecretKey) -> Result<SecretKey, CoreError> {
         let mac_key = transport_key.subkey("kw-mac");
         let expected = hmac_sha256(
@@ -250,6 +256,8 @@ impl KeyProvisioning {
 }
 
 /// The trusted rule issuer / key manager of a community.
+// taint: redacted — the derived impl delegates to SecretKey's redacting
+// Debug; the rule base is policy text, not key material.
 #[derive(Debug)]
 pub struct TrustedServer {
     master: SecretKey,

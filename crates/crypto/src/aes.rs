@@ -83,6 +83,7 @@ pub struct Aes128 {
     round_keys: [[u8; 16]; ROUNDS + 1],
 }
 
+// taint: redacted — prints a fixed placeholder, never the round keys.
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
@@ -188,6 +189,7 @@ impl Aes128 {
     }
 
     /// Encrypts one 16-byte block in place.
+    // taint: sink — a cleartext block goes in; only ciphertext remains.
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
         let (sbox, _) = sboxes();
         Self::add_round_key(block, &self.round_keys[0]);
@@ -203,6 +205,7 @@ impl Aes128 {
     }
 
     /// Decrypts one 16-byte block in place.
+    // taint: source — restores the cleartext block inside the SOE.
     pub fn decrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
         let (_, inv_sbox) = sboxes();
         Self::add_round_key(block, &self.round_keys[ROUNDS]);

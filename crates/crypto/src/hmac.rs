@@ -41,6 +41,8 @@ pub fn verify_mac(expected: &[u8], actual: &[u8]) -> bool {
 
 /// Derives `len` bytes of key material from an input key and a context label,
 /// HKDF-expand style (`T(i) = HMAC(key, T(i-1) || label || i)`).
+// taint: source — stretches a secret into fresh key material; the output
+// bytes are exactly as secret as the input key.
 pub fn derive_key(key: &[u8], label: &str, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     let mut previous: Vec<u8> = Vec::new();

@@ -22,6 +22,7 @@ pub struct SecretKey {
     bytes: [u8; 16],
 }
 
+// taint: redacted — prints a fixed placeholder, never the key bytes.
 impl std::fmt::Debug for SecretKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("SecretKey(<redacted>)")
@@ -36,6 +37,7 @@ impl SecretKey {
 
     /// Derives a key deterministically from a passphrase-like secret and a
     /// label. Used by the simulated PKI to agree on community keys.
+    // taint: source — turns a passphrase secret into usable key material.
     pub fn derive(master: &[u8], label: &str) -> Self {
         let material = derive_key(master, label, 16);
         let mut bytes = [0u8; 16];
@@ -44,6 +46,8 @@ impl SecretKey {
     }
 
     /// Returns the raw bytes (only the crypto layer should need them).
+    // taint: source — the raw key bytes; every caller is a cipher or MAC
+    // primitive in this crate or a key-wrapping boundary fn.
     pub fn as_bytes(&self) -> &[u8; 16] {
         &self.bytes
     }
@@ -55,6 +59,8 @@ impl SecretKey {
 }
 
 /// The bounded key store of the SOE.
+// taint: redacted — the derived impl shows key ids and capacity only;
+// SecretKey's own Debug redacts the bytes.
 #[derive(Debug, Default)]
 pub struct KeyRing {
     keys: BTreeMap<KeyId, SecretKey>,

@@ -9,6 +9,7 @@ use crate::aes::{Aes128, BLOCK_SIZE};
 use crate::error::CryptoError;
 
 /// Encrypts `plaintext` with AES-128-CBC and PKCS#7 padding.
+// taint: sink — cleartext enters, PKCS#7-padded CBC ciphertext leaves.
 pub fn cbc_encrypt(cipher: &Aes128, iv: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> Vec<u8> {
     let padded = pkcs7_pad(plaintext);
     let mut out = Vec::with_capacity(padded.len());
@@ -27,6 +28,7 @@ pub fn cbc_encrypt(cipher: &Aes128, iv: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> 
 }
 
 /// Decrypts an AES-128-CBC ciphertext and strips PKCS#7 padding.
+// taint: source — ciphertext in, cleartext out; SOE-side only.
 pub fn cbc_decrypt(
     cipher: &Aes128,
     iv: &[u8; BLOCK_SIZE],

@@ -9,14 +9,17 @@
 //! * [`store`] — the encrypted document / protected rule store with versioning,
 //! * [`server`] — the pull-mode request API used by terminal proxies, with
 //!   byte accounting of everything served,
-//! * [`dissemination`] — the push-mode publisher of experiment E6: encrypted
-//!   stream items are broadcast to subscribers over unsecured channels, and
-//!   each subscriber's SOE filters what its user may see,
+//! * [`dissemination`] — the broadcast unit of experiment E6: already
+//!   encrypted [`StreamItem`]s (produced by the trusted, proxy-side
+//!   `sdds_proxy::DisseminationChannel`, which keeps the key and the
+//!   cleartext stream out of this crate) are broadcast to subscribers over
+//!   unsecured channels, and each subscriber's SOE filters what its user may
+//!   see,
 //! * [`service`] — the concurrent multi-client layer of experiment E10: the
 //!   FNV-sharded store ([`service::ShardedStore`]), the fair round-robin
 //!   [`service::SessionScheduler`] multiplexing many card sessions, the
-//!   [`service::FanOutDisseminator`] (one encryption per item, M
-//!   subscribers), and the [`service::ServiceModel`] capacity math (see the
+//!   [`service::FanOutDisseminator`] (one ciphertext per item shared across
+//!   M subscriber mailboxes), and the [`service::ServiceModel`] capacity math (see the
 //!   module docs for the architecture diagram and the knob → paper-experiment
 //!   mapping),
 //! * [`actors`] — the readiness-driven actor engine of experiment E11: one
@@ -35,7 +38,7 @@ pub mod service;
 pub mod store;
 
 pub use actors::{ActorEngine, ActorReport, ActorSession, ActorStatus, FinishedActor};
-pub use dissemination::{DisseminationChannel, StreamItem};
+pub use dissemination::StreamItem;
 pub use obs::{ActorObs, DspObs, ErrorObs, SchedulerObs, ServeObs, SessionObs, ShardObs};
 pub use server::{AtomicServerStats, DspServer, ServerStats};
 pub use service::{

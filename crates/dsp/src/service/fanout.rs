@@ -8,22 +8,23 @@
 //! differentiation costs nothing at publication time because it is carried by
 //! the per-subscriber protected rules, not by per-subscriber ciphertexts.
 //!
-//! [`FanOutDisseminator`] makes that property explicit and testable: it wraps
-//! a [`DisseminationChannel`] (one encryption per published item) and hands
-//! every subscriber mailbox an [`Arc`] of the same [`StreamItem`]. The
-//! property test in `tests/fanout_properties.rs` pins both halves of the
-//! claim: the fanned-out ciphertext is byte-identical to what M independent
-//! unicast channels would have produced, and the encryption counter stays
+//! The trust boundary runs through the middle of the scenario, and this
+//! module sits on the untrusted side of it: the proxy-side
+//! `sdds_proxy::DisseminationChannel` holds the key, encrypts each item once,
+//! and hands the DSP an `Arc<StreamItem>` — [`FanOutDisseminator`] merely
+//! clones that [`Arc`] into every subscriber mailbox. It cannot re-encrypt,
+//! inspect or differentiate the stream because it never holds a key or a
+//! cleartext byte (the `sdds-lint` taint analyzer proves this statically).
+//! The property test in `tests/fanout_properties.rs` pins the scaling claim:
+//! the fanned-out ciphertext is byte-identical to what M independent unicast
+//! channels would have produced, and the publisher's encryption count stays
 //! equal to the number of published items no matter how many subscribers are
 //! attached.
 
 use sdds_sync::sync::Arc;
 use std::collections::VecDeque;
 
-use sdds_crypto::SecretKey;
-use sdds_xml::{Document, NodeId};
-
-use crate::dissemination::{DisseminationChannel, StreamItem};
+use crate::dissemination::StreamItem;
 
 /// Handle to one subscriber's mailbox.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,29 +38,31 @@ struct Subscriber {
     mailbox: VecDeque<Arc<StreamItem>>,
 }
 
-/// Publisher-side fan-out over one dissemination channel.
+/// DSP-side fan-out of one broadcast channel: ciphertext in, ciphertext out.
 #[derive(Debug)]
 pub struct FanOutDisseminator {
-    channel: DisseminationChannel,
+    name: String,
+    /// Broadcast history, in delivery order — what a late subscriber missed.
+    delivered: Vec<Arc<StreamItem>>,
     subscribers: Vec<Subscriber>,
 }
 
 impl FanOutDisseminator {
-    /// Creates a fan-out publisher for a channel named `name`, encrypting
-    /// under `key`.
-    pub fn new(name: impl Into<String>, key: SecretKey) -> Self {
+    /// Creates the fan-out for a broadcast channel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
         FanOutDisseminator {
-            channel: DisseminationChannel::new(name, key),
+            name: name.into(),
+            delivered: Vec::new(),
             subscribers: Vec::new(),
         }
     }
 
-    /// The underlying channel (name, key, published history).
-    pub fn channel(&self) -> &DisseminationChannel {
-        &self.channel
+    /// Channel name this fan-out serves.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
-    /// Attaches a subscriber; it receives items published from now on.
+    /// Attaches a subscriber; it receives items delivered from now on.
     pub fn subscribe(&mut self, subject: impl Into<String>) -> SubscriberId {
         self.subscribers.push(Subscriber {
             subject: subject.into(),
@@ -78,26 +81,21 @@ impl FanOutDisseminator {
         &self.subscribers[id.0].subject
     }
 
-    /// Publishes one item (an element of `catalog`): encrypts it **once** and
-    /// fans the shared ciphertext out to every subscriber mailbox — the
-    /// channel history and every mailbox hold the same allocation.
-    pub fn publish(&mut self, catalog: &Document, item_root: NodeId) -> Arc<StreamItem> {
-        let item = self.channel.publish(catalog, item_root);
+    /// Delivers one already-encrypted item to every subscriber mailbox. The
+    /// history and every mailbox hold the same allocation — the DSP never
+    /// copies, let alone re-encrypts, the item.
+    pub fn deliver(&mut self, item: Arc<StreamItem>) {
         for subscriber in &mut self.subscribers {
             subscriber.mailbox.push_back(Arc::clone(&item));
         }
-        item
+        self.delivered.push(item);
     }
 
-    /// Publishes every element child of the root of `stream_doc`; returns the
-    /// number of items published.
-    pub fn publish_all(&mut self, stream_doc: &Document) -> usize {
-        let Some(root) = stream_doc.root() else {
-            return 0;
-        };
-        let items: Vec<NodeId> = stream_doc.element_children(root).collect();
-        for item in &items {
-            self.publish(stream_doc, *item);
+    /// Delivers a batch of items (a publisher's `published()` history, say);
+    /// returns the number delivered.
+    pub fn deliver_all(&mut self, items: &[Arc<StreamItem>]) -> usize {
+        for item in items {
+            self.deliver(Arc::clone(item));
         }
         items.len()
     }
@@ -112,12 +110,9 @@ impl FanOutDisseminator {
         self.subscribers[id.0].mailbox.len()
     }
 
-    /// Document encryptions performed so far. Structurally one per published
-    /// item — the channel encrypts on publish and the mailboxes only ever
-    /// hold [`Arc`] clones of the channel's history entries (the sharing is
-    /// what the `Arc::ptr_eq` assertions in the tests pin).
-    pub fn encryptions(&self) -> usize {
-        self.channel.published().len()
+    /// Every item delivered so far, in delivery order.
+    pub fn delivered(&self) -> &[Arc<StreamItem>] {
+        &self.delivered
     }
 
     /// Ciphertext bytes that crossed the broadcast medium. A broadcast
@@ -125,49 +120,63 @@ impl FanOutDisseminator {
     /// subscriber count, unlike M unicasts which would ship
     /// `broadcast_bytes() * M`.
     pub fn broadcast_bytes(&self) -> usize {
-        self.channel.broadcast_bytes()
+        self.delivered
+            .iter()
+            .map(|i| i.document.ciphertext_len())
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdds_xml::generator::{self, GeneratorConfig, StreamProfile};
+    use sdds_core::secdoc::SecureDocumentBuilder;
+    use sdds_crypto::SecretKey;
+    use sdds_xml::Document;
 
-    fn stream(items: usize) -> Document {
-        generator::stream(
-            &StreamProfile {
-                items,
-                ..StreamProfile::default()
-            },
-            &GeneratorConfig::default(),
-        )
+    /// An encrypted stream item, as the proxy-side publisher would hand over.
+    fn item(sequence: u64) -> Arc<StreamItem> {
+        let doc = Document::parse(&format!("<item><title>t{sequence}</title></item>")).unwrap();
+        let plaintext_len = doc.to_xml().len();
+        let key = SecretKey::derive(b"fanout-test", "k");
+        let document = SecureDocumentBuilder::new(format!("feed#{sequence}"), key).build(&doc);
+        Arc::new(StreamItem {
+            sequence,
+            document,
+            plaintext_len,
+        })
     }
 
     #[test]
-    fn one_encryption_per_item_regardless_of_subscribers() {
-        let key = SecretKey::derive(b"fanout", "c");
-        let mut fanout = FanOutDisseminator::new("feed", key);
+    fn one_ciphertext_per_item_regardless_of_subscribers() {
+        let mut fanout = FanOutDisseminator::new("feed");
         let subscribers: Vec<SubscriberId> =
             (0..32).map(|i| fanout.subscribe(format!("s{i}"))).collect();
         assert_eq!(fanout.subscriber_count(), 32);
-        let published = fanout.publish_all(&stream(5));
-        assert_eq!(published, 5);
-        assert_eq!(fanout.encryptions(), 5, "one encryption per item, not 5*32");
+        let items: Vec<Arc<StreamItem>> = (0..5).map(item).collect();
+        let delivered = fanout.deliver_all(&items);
+        assert_eq!(delivered, 5);
+        assert_eq!(
+            fanout.delivered().len(),
+            5,
+            "one ciphertext per item, not 5*32"
+        );
         for id in subscribers {
             assert_eq!(fanout.queued(id), 5);
         }
-        assert!(fanout.broadcast_bytes() > 0);
+        let one_copy: usize = items.iter().map(|i| i.document.ciphertext_len()).sum();
+        assert_eq!(fanout.broadcast_bytes(), one_copy);
     }
 
     #[test]
     fn every_mailbox_shares_the_same_ciphertext_allocation() {
-        let key = SecretKey::derive(b"fanout", "c");
-        let mut fanout = FanOutDisseminator::new("feed", key);
+        let mut fanout = FanOutDisseminator::new("feed");
         let a = fanout.subscribe("alice");
         let b = fanout.subscribe("bob");
         assert_eq!(fanout.subject_of(a), "alice");
-        fanout.publish_all(&stream(3));
+        for seq in 0..3 {
+            fanout.deliver(item(seq));
+        }
         let from_a = fanout.drain(a);
         let from_b = fanout.drain(b);
         assert_eq!(fanout.queued(a), 0);
@@ -175,29 +184,26 @@ mod tests {
             // Not just equal bytes: literally the same allocation.
             assert!(Arc::ptr_eq(x, y));
         }
-        // Three Arcs outstanding per item: the publisher history and the two
+        // Three Arcs outstanding per item: the delivery history and the two
         // drained vectors all share one allocation.
         assert_eq!(Arc::strong_count(&from_a[0]), 3);
-        assert!(Arc::ptr_eq(&from_a[0], &fanout.channel().published()[0]));
+        assert!(Arc::ptr_eq(&from_a[0], &fanout.delivered()[0]));
     }
 
     #[test]
     fn late_subscribers_receive_only_later_items() {
-        let key = SecretKey::derive(b"fanout", "c");
-        let mut fanout = FanOutDisseminator::new("feed", key);
+        let mut fanout = FanOutDisseminator::new("feed");
         let early = fanout.subscribe("early");
-        let doc = stream(4);
-        let root = doc.root().unwrap();
-        let items: Vec<NodeId> = doc.element_children(root).collect();
-        fanout.publish(&doc, items[0]);
-        fanout.publish(&doc, items[1]);
+        let items: Vec<Arc<StreamItem>> = (0..4).map(item).collect();
+        fanout.deliver(Arc::clone(&items[0]));
+        fanout.deliver(Arc::clone(&items[1]));
         let late = fanout.subscribe("late");
-        fanout.publish(&doc, items[2]);
-        fanout.publish(&doc, items[3]);
+        fanout.deliver(Arc::clone(&items[2]));
+        fanout.deliver(Arc::clone(&items[3]));
         assert_eq!(fanout.queued(early), 4);
         assert_eq!(fanout.queued(late), 2);
         let got: Vec<u64> = fanout.drain(late).iter().map(|i| i.sequence).collect();
         assert_eq!(got, vec![2, 3]);
-        assert_eq!(fanout.channel().name(), "feed");
+        assert_eq!(fanout.name(), "feed");
     }
 }

@@ -48,8 +48,10 @@
 //! * **`sdds_card::BatchedChannel`** — the E5 latency breakdown's
 //!   `per_apdu_latency`, charged once per coalesced batch instead of once per
 //!   chunk request.
-//! * **[`FanOutDisseminator`]** — E6 dissemination at M subscribers: one
-//!   encryption per item regardless of M (pinned by the fan-out property
+//! * **[`FanOutDisseminator`]** — E6 dissemination at M subscribers: the
+//!   proxy-side publisher (`sdds_proxy::DisseminationChannel`) encrypts each
+//!   item once and the DSP fans the shared ciphertext out to M mailboxes —
+//!   one encryption per item regardless of M (pinned by the fan-out property
 //!   test).
 //!
 //! Capacity is reported on the same *simulated* clock the rest of the

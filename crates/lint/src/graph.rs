@@ -1,0 +1,299 @@
+//! The workspace type-flow graph: which named types a struct/enum embeds,
+//! and how the `Secret`/`Plaintext` sensitivity tiers propagate through it.
+//!
+//! Propagation is deliberately conservative, in the certain-answer spirit:
+//! a type that *contains* a `Secret`-tier field is itself `Secret` unless
+//! `trust.toml` (or a `// taint:` annotation) explicitly assigns it another
+//! tier — `Ciphertext` is the tier that stops propagation, and assigning it
+//! is a reviewed claim that the embedded sensitivity is encrypted away.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Sensitivity tier of a type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Stored/served encrypted form; embedding sensitive data is fine
+    /// because it is encrypted away. Stops propagation.
+    Ciphertext,
+    /// Cleartext document data: decrypted chunks, assembled events, XML.
+    Plaintext,
+    /// Key material and other card-side secrets.
+    Secret,
+}
+
+impl Tier {
+    /// Stable lowercase name, as used in `trust.toml` and annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Secret => "secret",
+            Tier::Plaintext => "plaintext",
+            Tier::Ciphertext => "ciphertext",
+        }
+    }
+
+    /// Parses a tier name (`secret` / `plaintext` / `ciphertext`).
+    pub fn by_name(name: &str) -> Option<Tier> {
+        match name {
+            "secret" => Some(Tier::Secret),
+            "plaintext" => Some(Tier::Plaintext),
+            "ciphertext" => Some(Tier::Ciphertext),
+            _ => None,
+        }
+    }
+}
+
+/// Why a type carries its tier.
+#[derive(Debug, Clone)]
+pub enum Provenance {
+    /// Listed in `trust.toml` or annotated `// taint: <tier>` at its decl.
+    Explicit,
+    /// Inherited: the type embeds `field_type` (at `file:line`), which
+    /// carries the tier.
+    Field {
+        /// The embedded type the tier was inherited from.
+        field_type: String,
+        /// File of the embedding field.
+        file: String,
+        /// 1-based line of the embedding field.
+        line: usize,
+    },
+}
+
+/// A type's effective tier plus how it got it.
+#[derive(Debug, Clone)]
+pub struct TierInfo {
+    /// The effective tier.
+    pub tier: Tier,
+    /// Explicit assignment or the field edge that propagated it.
+    pub provenance: Provenance,
+}
+
+/// One field edge: the declaring type embeds `to` at `file:line`.
+#[derive(Debug, Clone)]
+pub struct FieldEdge {
+    /// The embedded type name.
+    pub to: String,
+    /// File of the field declaration.
+    pub file: String,
+    /// 1-based line of the field declaration.
+    pub line: usize,
+}
+
+/// The containment graph: type name → the type names its fields embed.
+#[derive(Debug, Default)]
+pub struct TypeGraph {
+    edges: BTreeMap<String, Vec<FieldEdge>>,
+}
+
+impl TypeGraph {
+    /// Records that `owner` embeds every type named in `field_text`.
+    pub fn add_field(&mut self, owner: &str, field_text: &str, file: &str, line: usize) {
+        let entry = self.edges.entry(owner.to_owned()).or_default();
+        for name in type_idents(field_text) {
+            entry.push(FieldEdge {
+                to: name,
+                file: file.to_owned(),
+                line,
+            });
+        }
+    }
+
+    /// Fixpoint propagation: starting from the explicit assignments, every
+    /// type embedding a `Secret` type becomes `Secret`, every type embedding
+    /// a `Plaintext` type becomes at least `Plaintext`; `Ciphertext` does
+    /// not propagate, and explicit assignments are never overridden.
+    pub fn propagate(&self, explicit: &BTreeMap<String, Tier>) -> BTreeMap<String, TierInfo> {
+        let mut eff: BTreeMap<String, TierInfo> = explicit
+            .iter()
+            .map(|(name, &tier)| {
+                (
+                    name.clone(),
+                    TierInfo {
+                        tier,
+                        provenance: Provenance::Explicit,
+                    },
+                )
+            })
+            .collect();
+        let rank = |t: Tier| match t {
+            Tier::Secret => 2u8,
+            Tier::Plaintext => 1,
+            Tier::Ciphertext => 0,
+        };
+        loop {
+            let mut changed = false;
+            for (owner, edges) in &self.edges {
+                if explicit.contains_key(owner) {
+                    continue;
+                }
+                let current = eff.get(owner).map_or(0, |i| rank(i.tier));
+                for edge in edges {
+                    let inherited = match eff.get(&edge.to).map(|i| i.tier) {
+                        Some(Tier::Secret) => Some(Tier::Secret),
+                        Some(Tier::Plaintext) => Some(Tier::Plaintext),
+                        _ => None,
+                    };
+                    if let Some(tier) = inherited {
+                        if rank(tier) > current {
+                            eff.insert(
+                                owner.clone(),
+                                TierInfo {
+                                    tier,
+                                    provenance: Provenance::Field {
+                                        field_type: edge.to.clone(),
+                                        file: edge.file.clone(),
+                                        line: edge.line,
+                                    },
+                                },
+                            );
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return eff;
+            }
+        }
+    }
+}
+
+/// Extracts the type-name identifiers referenced by a piece of item-head
+/// text (a signature, a field type, a use path).
+///
+/// Associated-type positions are skipped: in `A::Event` or `Self::Event`
+/// (an uppercase or `Self`/`>` path qualifier), `Event` names an associated
+/// type of `A`, not the workspace type `Event` — counting it would make
+/// every generic actor signature look like it handles plaintext. Module
+/// paths like `sdds_xml::Event` keep the final segment, because a lowercase
+/// qualifier is a module, and the segment really is the workspace type.
+pub fn type_idents(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+            i += 1;
+            continue;
+        }
+        // Lifetimes ('a) are not type names.
+        if i > 0 && bytes[i - 1] == b'\'' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let ident = &text[start..i];
+        // Macro invocations (vec![…]) are not type references.
+        if bytes.get(i) == Some(&b'!') {
+            continue;
+        }
+        if in_associated_position(bytes, start) {
+            continue;
+        }
+        if seen.insert(ident.to_owned()) {
+            out.push(ident.to_owned());
+        }
+    }
+    out
+}
+
+/// True when the identifier starting at `start` is the segment after a
+/// `Type::` / `Self::` / `>::` qualifier — i.e. an associated item, not a
+/// direct reference to a workspace type of that name.
+fn in_associated_position(bytes: &[u8], start: usize) -> bool {
+    if start < 2 || bytes[start - 1] != b':' || bytes[start - 2] != b':' {
+        return false;
+    }
+    let mut j = start - 2;
+    // `<T as Trait>::Out` — a qualified path is always associated.
+    if j > 0 && bytes[j - 1] == b'>' {
+        return true;
+    }
+    // Read the qualifier segment directly before `::`.
+    let qual_end = j;
+    while j > 0 && (bytes[j - 1].is_ascii_alphanumeric() || bytes[j - 1] == b'_') {
+        j -= 1;
+    }
+    let qualifier = &bytes[j..qual_end];
+    qualifier.first().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_plain_and_module_qualified_names() {
+        let names = type_idents("fn f(key: &SecretKey, e: sdds_xml::Event) -> Vec<u8>");
+        assert!(names.contains(&"SecretKey".to_owned()));
+        assert!(names.contains(&"Event".to_owned()));
+        assert!(names.contains(&"sdds_xml".to_owned()));
+        assert!(names.contains(&"Vec".to_owned()));
+    }
+
+    #[test]
+    fn skips_associated_type_positions() {
+        let names = type_idents("fn on_event(&mut self, e: A::Event, s: Self::Event)");
+        assert!(!names.contains(&"Event".to_owned()), "{names:?}");
+        let names = type_idents("fn out() -> <T as Iterator>::Item");
+        assert!(!names.contains(&"Item".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn skips_lifetimes_and_macros() {
+        let names = type_idents("fn f<'doc>(x: &'doc str) { vec![1] }");
+        assert!(!names.contains(&"doc".to_owned()), "{names:?}");
+        assert!(!names.contains(&"vec".to_owned()), "{names:?}");
+    }
+
+    fn tiers(pairs: &[(&str, Tier)]) -> BTreeMap<String, Tier> {
+        pairs.iter().map(|(n, t)| ((*n).to_owned(), *t)).collect()
+    }
+
+    #[test]
+    fn propagates_secret_through_fields_transitively() {
+        let mut g = TypeGraph::default();
+        g.add_field("Holder", "SecretKey", "a.rs", 3);
+        g.add_field("Outer", "Holder", "a.rs", 9);
+        let eff = g.propagate(&tiers(&[("SecretKey", Tier::Secret)]));
+        assert_eq!(eff.get("Holder").map(|i| i.tier), Some(Tier::Secret));
+        assert_eq!(eff.get("Outer").map(|i| i.tier), Some(Tier::Secret));
+        match &eff["Outer"].provenance {
+            Provenance::Field {
+                field_type, line, ..
+            } => {
+                assert_eq!(field_type, "Holder");
+                assert_eq!(*line, 9);
+            }
+            p => panic!("unexpected provenance {p:?}"),
+        }
+    }
+
+    #[test]
+    fn secret_beats_plaintext_and_ciphertext_stops_propagation() {
+        let mut g = TypeGraph::default();
+        g.add_field("Mixed", "Document", "a.rs", 1);
+        g.add_field("Mixed", "SecretKey", "a.rs", 2);
+        g.add_field("Sealed", "SecretKey", "a.rs", 7);
+        g.add_field("Carrier", "Sealed", "a.rs", 12);
+        let eff = g.propagate(&tiers(&[
+            ("SecretKey", Tier::Secret),
+            ("Document", Tier::Plaintext),
+            ("Sealed", Tier::Ciphertext),
+        ]));
+        assert_eq!(eff.get("Mixed").map(|i| i.tier), Some(Tier::Secret));
+        // Sealed is explicitly Ciphertext: the embedded secret does not
+        // override it, and nothing propagates out of it.
+        assert_eq!(eff.get("Sealed").map(|i| i.tier), Some(Tier::Ciphertext));
+        assert!(!eff.contains_key("Carrier"), "{eff:?}");
+    }
+}

@@ -28,6 +28,18 @@
 //!   must be named in the ARCHITECTURE.md experiment table, and every metric
 //!   family declared in `crates/obs/src/families.rs` must appear in the
 //!   book's metric table, so the book cannot silently fall behind the code.
+//!
+//! On top of the token rules sits the item-level **trust-boundary analyzer**
+//! ([`items`], [`graph`], [`taint`]): it parses fn signatures, struct/enum
+//! fields, impl blocks, and `use` items, classifies types into sensitivity
+//! tiers from `trust.toml` plus `// taint:` annotations, and proves that no
+//! `Secret` or `Plaintext` type can reach the untrusted DSP or the telemetry
+//! layer (rules **taint-dsp**, **taint-obs**, **taint-debug**,
+//! **taint-annotation**).
+
+pub mod graph;
+pub mod items;
+pub mod taint;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -50,6 +62,18 @@ pub enum Rule {
     /// An experiment bench file or metric family missing from
     /// ARCHITECTURE.md.
     DocSync,
+    /// A `Secret`/`Plaintext` type reachable from an item inside the
+    /// untrusted DSP scope.
+    TaintDsp,
+    /// A `Secret`/`Plaintext` type reachable from telemetry code, or a
+    /// secret tier name on a metric-label call.
+    TaintObs,
+    /// A `Secret` type that derives/impls `Debug`/`Display` or leaks raw
+    /// bytes without a `// taint: redacted` justification.
+    TaintDebug,
+    /// A crypto boundary fn missing its `// taint: source|sink` annotation,
+    /// or an annotation inconsistent with the signature it describes.
+    TaintAnnotation,
 }
 
 impl Rule {
@@ -63,6 +87,106 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::AdhocAtomic => "adhoc-atomic",
             Rule::DocSync => "doc-sync",
+            Rule::TaintDsp => "taint-dsp",
+            Rule::TaintObs => "taint-obs",
+            Rule::TaintDebug => "taint-debug",
+            Rule::TaintAnnotation => "taint-annotation",
+        }
+    }
+
+    /// All rules, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::StdSync,
+        Rule::Ordering,
+        Rule::NoPanic,
+        Rule::NoSleep,
+        Rule::ForbidUnsafe,
+        Rule::AdhocAtomic,
+        Rule::DocSync,
+        Rule::TaintDsp,
+        Rule::TaintObs,
+        Rule::TaintDebug,
+        Rule::TaintAnnotation,
+    ];
+
+    /// Looks a rule up by its stable name (`lint --explain <rule>`).
+    pub fn by_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// A paragraph of rationale for `lint --explain`: what the rule catches
+    /// and why the workspace enforces it.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::StdSync => {
+                "Service crates (sdds-dsp, sdds-proxy, sdds-obs) and the facade must \
+                 import synchronization from sdds-sync, never std::sync / std::thread. \
+                 The model-check build (--cfg sdds_check) swaps sdds-sync onto the \
+                 sdds-check shims; a direct std::sync import silently escapes the \
+                 checker's schedule control."
+            }
+            Rule::Ordering => {
+                "Every non-Relaxed atomic Ordering::… must carry a `// ordering:` \
+                 justification on the same or a preceding comment line. Acquire/Release \
+                 pairs are protocol decisions; the comment records which store the load \
+                 pairs with so reviewers can audit the happens-before edge."
+            }
+            Rule::NoPanic => {
+                "No unwrap / expect / panic! / unreachable! in non-test library code: \
+                 the card and server loops must degrade with typed errors, not abort. \
+                 `// lint: infallible — <reason>` is the escape hatch for statically \
+                 impossible failures."
+            }
+            Rule::NoSleep => {
+                "No sleep(…) in service code: sleeping hides ordering bugs behind \
+                 timing, and the model checker turns every sleep into a plain yield \
+                 anyway. Use condvars or channels to wait for a condition."
+            }
+            Rule::ForbidUnsafe => {
+                "Every first-party crate root must carry #![forbid(unsafe_code)]: the \
+                 SOE simulation's security argument assumes no first-party unsafe."
+            }
+            Rule::AdhocAtomic => {
+                "No ad-hoc AtomicU64 counters in service code outside sdds-obs: a bare \
+                 atomic is a shadow metric that never reaches ObsSnapshot. Register a \
+                 Counter/Gauge/Histogram instead, or justify with `// lint: atomic — \
+                 <reason>` for atomics that are not metrics."
+            }
+            Rule::DocSync => {
+                "ARCHITECTURE.md must stay in sync with the code: every experiment \
+                 bench (crates/bench/benches/e*.rs), every metric family declared in \
+                 crates/obs/src/families.rs, and every type named in lint/trust.toml's \
+                 sensitivity tiers must appear in the book's tables."
+            }
+            Rule::TaintDsp => {
+                "The DSP is the paper's untrusted server: it stores and serves \
+                 encrypted chunks and must never see cleartext or key material. No \
+                 Secret- or Plaintext-tier type (explicit in trust.toml, or inheriting \
+                 the tier through a struct/enum field) may appear in any sdds-dsp item \
+                 signature, struct field, use item, or public re-export."
+            }
+            Rule::TaintObs => {
+                "Telemetry exports JSON from every layer, so the observability crate \
+                 is an exfiltration path: no Secret/Plaintext-tier type may appear in \
+                 sdds-obs item signatures, and no secret tier name may appear on a \
+                 metric-label call (counter_with/gauge_with/histogram_with) anywhere."
+            }
+            Rule::TaintDebug => {
+                "A Secret-tier type must not derive Debug, impl Debug/Display, or \
+                 expose raw bytes (Vec<u8>/&[u8] returns) without justification: \
+                 `{:?}` on a key ends up in logs and flight-recorder labels. A manual \
+                 redacting impl is fine — mark it `// taint: redacted — <reason>`; \
+                 byte accessors need `// taint: source|sink — <reason>`."
+            }
+            Rule::TaintAnnotation => {
+                "Every crypto boundary crossing (a fn whose name contains a boundary \
+                 verb — encrypt, decrypt, seal, wrap, unwrap_key, derive — and whose \
+                 signature touches tiered types or raw bytes) must carry a `// taint: \
+                 source|sink — <reason>` annotation, and the annotation must agree \
+                 with the signature: a source produces sensitive data (so it must not \
+                 be declared on a fn returning only ciphertext), a sink consumes it \
+                 (so it must not return Secret/Plaintext)."
+            }
         }
     }
 }
@@ -91,6 +215,49 @@ impl fmt::Display for Violation {
             self.message
         )
     }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders violations as a stable machine-readable JSON array (`lint --json`):
+/// one object per violation with `rule`, `file`, `line`, and `message` keys,
+/// sorted the same way the human report prints them. Hand-rolled because the
+/// linter must stay dependency-free.
+pub fn violations_to_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\": \"");
+        out.push_str(v.rule.name());
+        out.push_str("\", \"file\": \"");
+        json_escape(&v.file.display().to_string(), &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&v.line.to_string());
+        out.push_str(", \"message\": \"");
+        json_escape(&v.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str(if violations.is_empty() {
+        "]\n"
+    } else {
+        "\n]\n"
+    });
+    out
 }
 
 /// Which rule families apply to a file (derived from its path by the
@@ -176,6 +343,25 @@ fn blank_noncode(src: &str) -> String {
                     }
                     out.push(b);
                 }
+                b'b' | b'c' if next == Some(b'r') && !prev_is_ident(&out) => {
+                    // Raw byte/C string br"…" / cr#"…"# — without this, the
+                    // `"` would open an *escaping* string state and a `\` in
+                    // the raw body could swallow the closing quote, blanking
+                    // the rest of the file and desyncing line numbers.
+                    let mut hashes = 0;
+                    let mut j = i + 2;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(b);
+                }
                 b'\'' => {
                     // Only a literal if it closes: 'x' or '\x'. A lifetime
                     // ('a) has no closing quote within a couple of bytes.
@@ -224,10 +410,16 @@ fn blank_noncode(src: &str) -> String {
             St::Str => match b {
                 b'\\' => {
                     // Keep the newline of a `\`-line-continuation: blanking
-                    // must never shift line numbers.
+                    // must never shift line numbers. A trailing `\` at end of
+                    // input consumes only itself, keeping output length equal
+                    // to input length.
                     out.push(b' ');
-                    out.push(if next == Some(b'\n') { b'\n' } else { b' ' });
-                    i += 2;
+                    if let Some(n) = next {
+                        out.push(if n == b'\n' { b'\n' } else { b' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
                     continue;
                 }
                 b'"' => {
@@ -255,8 +447,12 @@ fn blank_noncode(src: &str) -> String {
             St::Char => match b {
                 b'\\' => {
                     out.push(b' ');
-                    out.push(if next == Some(b'\n') { b'\n' } else { b' ' });
-                    i += 2;
+                    if let Some(n) = next {
+                        out.push(if n == b'\n' { b'\n' } else { b' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
                     continue;
                 }
                 b'\'' => {
@@ -706,6 +902,100 @@ mod tests {
     fn raw_strings_are_blanked() {
         let v = scan("fn f() { let _ = r#\"std::sync unwrap( \"#; }\n");
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// Blanking must be a byte-length- and newline-preserving map, or every
+    /// downstream offset→line computation silently drifts.
+    fn assert_blanking_preserves_shape(src: &str) {
+        let blanked = blank_noncode(src);
+        assert_eq!(blanked.len(), src.len(), "length drift for {src:?}");
+        let src_newlines: Vec<usize> = src
+            .bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        let blanked_newlines: Vec<usize> = blanked
+            .bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(src_newlines, blanked_newlines, "newline drift for {src:?}");
+    }
+
+    #[test]
+    fn raw_byte_and_c_strings_are_blanked_without_desync() {
+        // A `\` inside a raw byte string is a literal byte, not an escape; if
+        // the tokenizer fell into the escaping-string state it would swallow
+        // the closing quote and blank the unwrap below.
+        let src = "fn f() { let _ = br\"a\\\"; let x: Option<u8> = None;\n x.unwrap(); }\n";
+        assert_blanking_preserves_shape(src);
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NoPanic);
+        assert_eq!(v[0].line, 2);
+
+        let src = "fn f() { let _ = cr#\"std::sync \\ unwrap( \"#; }\n";
+        assert_blanking_preserves_shape(src);
+        assert!(scan(src).is_empty());
+
+        let src = "fn f() { let _ = br#\"multi\nline \\ raw\"#; let x: Option<u8> = None;\n x.unwrap(); }\n";
+        assert_blanking_preserves_shape(src);
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_preserve_lines() {
+        let src = "/* outer /* inner\n */ still a comment\nunwrap( */\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+        assert_blanking_preserves_shape(src);
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn trailing_backslash_does_not_overrun() {
+        // Pathological EOF-in-string inputs must still blank to the same
+        // byte length.
+        for src in ["let s = \"abc\\", "let c = '\\", "\"\\"] {
+            assert_blanking_preserves_shape(src);
+        }
+    }
+
+    #[test]
+    fn violations_to_json_escapes_and_orders() {
+        let v = vec![
+            Violation {
+                file: PathBuf::from("a.rs"),
+                line: 3,
+                rule: Rule::TaintDsp,
+                message: "bad \"quote\"".to_owned(),
+            },
+            Violation {
+                file: PathBuf::from("b.rs"),
+                line: 7,
+                rule: Rule::NoPanic,
+                message: "x".to_owned(),
+            },
+        ];
+        let json = violations_to_json(&v);
+        assert!(json.contains("\"rule\": \"taint-dsp\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("bad \\\"quote\\\""));
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+        assert_eq!(violations_to_json(&[]).trim(), "[]");
+    }
+
+    #[test]
+    fn every_rule_has_a_name_and_explanation() {
+        for &rule in Rule::ALL {
+            assert_eq!(Rule::by_name(rule.name()), Some(rule));
+            assert!(rule.explain().len() > 40, "thin rationale for {rule:?}");
+        }
+        assert_eq!(Rule::by_name("nope"), None);
     }
 
     #[test]

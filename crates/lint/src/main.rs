@@ -1,15 +1,24 @@
 #![forbid(unsafe_code)]
 //! Workspace driver for the `sdds-lint` rules: walks the first-party crates,
-//! applies the rule set that matches each file's path, prints violations in
+//! applies the token rules that match each file's path, runs the item-level
+//! trust-boundary analysis over the whole workspace, prints violations in
 //! `file:line: [rule] message` form, and exits non-zero if any were found.
 //!
-//! Run from anywhere in the workspace: `cargo run -p sdds-lint`.
+//! Usage (from anywhere in the workspace):
+//!
+//! ```text
+//! cargo run -p sdds-lint                      # scan, human-readable report
+//! cargo run -p sdds-lint -- --json out.json   # also write machine-readable JSON
+//! cargo run -p sdds-lint -- --explain taint-dsp
+//! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use sdds_lint::taint::{analyze, check_trust_sync, SourceFile, TrustConfig};
 use sdds_lint::{
-    check_doc_sync, check_metric_sync, metric_families, scan_file, FileRules, Violation,
+    check_doc_sync, check_metric_sync, metric_families, scan_file, violations_to_json, FileRules,
+    Rule, Violation,
 };
 
 /// First-party crate directories, relative to the workspace root. Vendored
@@ -86,7 +95,7 @@ fn rules_for(crate_dir: &str, path: &Path) -> FileRules {
 fn run() -> Result<Vec<Violation>, String> {
     let root = workspace_root();
     let mut violations = Vec::new();
-    let mut scanned = 0usize;
+    let mut sources: Vec<SourceFile> = Vec::new();
     for crate_dir in CRATES {
         let src = root.join(crate_dir).join("src");
         if !src.is_dir() {
@@ -99,12 +108,23 @@ fn run() -> Result<Vec<Violation>, String> {
                 .map_err(|e| format!("reading {}: {e}", file.display()))?;
             let shown = file.strip_prefix(&root).unwrap_or(&file);
             violations.extend(scan_file(shown, &contents, rules_for(crate_dir, &file)));
-            scanned += 1;
+            sources.push(SourceFile {
+                path: shown.to_string_lossy().replace('\\', "/"),
+                contents,
+            });
         }
     }
-    violations.extend(doc_sync(&root)?);
+
+    let config_path = root.join("crates/lint/trust.toml");
+    let config_text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let config = TrustConfig::parse(&config_text)?;
+    violations.extend(analyze(&config, &sources));
+
+    violations.extend(doc_sync(&root, &config)?);
     eprintln!(
-        "sdds-lint: scanned {scanned} files across {} crates, {} violation(s)",
+        "sdds-lint: scanned {} files across {} crates, {} violation(s)",
+        sources.len(),
         CRATES.len(),
         violations.len()
     );
@@ -112,10 +132,11 @@ fn run() -> Result<Vec<Violation>, String> {
 }
 
 /// The doc-sync rule: every `crates/bench/benches/e*.rs` experiment bench
-/// must be named in ARCHITECTURE.md's experiment table, and every metric
-/// family declared in `crates/obs/src/families.rs` must appear in the book's
-/// metric table.
-fn doc_sync(root: &Path) -> Result<Vec<Violation>, String> {
+/// must be named in ARCHITECTURE.md's experiment table, every metric family
+/// declared in `crates/obs/src/families.rs` must appear in the book's metric
+/// table, and every type tiered in `trust.toml` must appear in the book's
+/// trust-boundary table.
+fn doc_sync(root: &Path, config: &TrustConfig) -> Result<Vec<Violation>, String> {
     let benches_dir = root.join("crates/bench/benches");
     let mut files = Vec::new();
     rust_sources(&benches_dir, &mut files)
@@ -139,17 +160,85 @@ fn doc_sync(root: &Path) -> Result<Vec<Violation>, String> {
         &book,
         &metric_families(&families_src),
     ));
+    violations.extend(check_trust_sync(book_path, &book, config));
     Ok(violations)
 }
 
+enum Mode {
+    Scan { json: Option<PathBuf> },
+    Explain(String),
+}
+
+fn parse_args() -> Result<Mode, String> {
+    let mut args = std::env::args().skip(1);
+    let mut json = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json = Some(PathBuf::from(
+                    args.next().ok_or("--json needs a file path")?,
+                ));
+            }
+            "--explain" => {
+                return Ok(Mode::Explain(
+                    args.next().ok_or("--explain needs a rule name")?,
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` \
+                     (usage: sdds-lint [--json <path>] [--explain <rule>])"
+                ));
+            }
+        }
+    }
+    Ok(Mode::Scan { json })
+}
+
+fn explain(rule_name: &str) -> ExitCode {
+    match Rule::by_name(rule_name) {
+        Some(rule) => {
+            println!("{}\n\n{}", rule.name(), rule.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+            eprintln!(
+                "sdds-lint: unknown rule `{rule_name}`; known rules: {}",
+                known.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let mode = match parse_args() {
+        Ok(mode) => mode,
+        Err(error) => {
+            eprintln!("sdds-lint: error: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = match mode {
+        Mode::Explain(rule) => return explain(&rule),
+        Mode::Scan { json } => json,
+    };
     match run() {
         Err(error) => {
             eprintln!("sdds-lint: error: {error}");
             ExitCode::from(2)
         }
-        Ok(violations) if violations.is_empty() => ExitCode::SUCCESS,
         Ok(violations) => {
+            if let Some(path) = json {
+                if let Err(error) = std::fs::write(&path, violations_to_json(&violations)) {
+                    eprintln!("sdds-lint: error: writing {}: {error}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if violations.is_empty() {
+                return ExitCode::SUCCESS;
+            }
             for v in &violations {
                 println!("{v}");
             }

@@ -7,6 +7,9 @@
 //!
 //! * [`pki`] — the simulated PKI of the demo (footnote 2: "we will not use a
 //!   PKI infrastructure but rather simulate it"),
+//! * [`publish`] — the [`publish::DisseminationChannel`] publisher of the
+//!   push scenario (E6): it holds the channel key, encrypts each stream item
+//!   once, and hands the untrusted DSP fan-out nothing but ciphertext,
 //! * [`proxy`] — the [`proxy::Terminal`]: card issuance, key/rule/query
 //!   provisioning over APDUs, and push-mode local evaluation,
 //! * [`session`] — the [`session::CardSession`] stepped pull flow against the
@@ -24,8 +27,10 @@
 
 pub mod pki;
 pub mod proxy;
+pub mod publish;
 pub mod session;
 
 pub use pki::SimulatedPki;
 pub use proxy::{ProxyError, Terminal};
+pub use publish::DisseminationChannel;
 pub use session::CardSession;

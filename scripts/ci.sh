@@ -19,8 +19,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> sdds-lint (workspace concurrency + panic hygiene)"
-cargo run -q -p sdds-lint
+echo "==> sdds-lint (concurrency + panic hygiene + trust-boundary taint)"
+# The taint pass statically proves no plaintext or key type reaches the DSP
+# or the obs export surface (see ARCHITECTURE.md, "Trust boundary"). The
+# machine-readable findings land next to the human report so CI logs and
+# tooling see the same thing.
+mkdir -p target
+if ! cargo run -q -p sdds-lint -- --json target/sdds-lint.json; then
+    echo "sdds-lint findings (also at target/sdds-lint.json):" >&2
+    cat target/sdds-lint.json >&2
+    exit 1
+fi
 
 echo "==> cargo test -q (SDDS_PROP_CASES=256)"
 SDDS_PROP_CASES=256 cargo test -q

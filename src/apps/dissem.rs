@@ -18,7 +18,7 @@ use sdds_core::conflict::AccessPolicy;
 use sdds_core::engine::{evaluate_secure_document, EngineConfig};
 use sdds_core::evaluator::EvaluatorConfig;
 use sdds_core::rule::{RuleSet, Subject};
-use sdds_dsp::DisseminationChannel;
+use sdds_proxy::DisseminationChannel;
 use sdds_xml::Document;
 
 use crate::client::{Client, Publisher};

@@ -72,7 +72,7 @@ pub use sdds_core::rule::{RuleSet, Sign, Subject};
 pub use sdds_dsp::service::{SchedulerEngine, SessionScheduler};
 pub use sdds_dsp::DspService;
 pub use sdds_obs::{FlightRecorder, ObsSnapshot};
-pub use sdds_proxy::{CardSession, SimulatedPki, Terminal};
+pub use sdds_proxy::{CardSession, DisseminationChannel, SimulatedPki, Terminal};
 pub use sdds_xml::{Document, Event};
 
 // Whole-crate re-exports for advanced use.

@@ -7,6 +7,12 @@
 //! (a unicast deployment would re-encrypt per subscriber, or at best repeat
 //! the broadcast bytes M times).
 //!
+//! The publisher (`sdds::proxy::DisseminationChannel`, holds the key) and the
+//! DSP-side fan-out (`sdds::dsp::FanOutDisseminator`, ciphertext only) sit on
+//! opposite sides of the trust boundary; the split itself is enforced by the
+//! `sdds-lint` taint analyzer, and this test pins that the split loses no
+//! behaviour.
+//!
 //! Like `streaming_vs_oracle_properties.rs`, each property runs over
 //! `SDDS_PROP_CASES` seeded deterministic cases (default 64; CI 256).
 
@@ -18,7 +24,8 @@ use sdds::core::engine::{evaluate_secure_document, EngineConfig};
 use sdds::core::evaluator::EvaluatorConfig;
 use sdds::core::rule::RuleSet;
 use sdds::crypto::SecretKey;
-use sdds::dsp::{DisseminationChannel, FanOutDisseminator};
+use sdds::dsp::FanOutDisseminator;
+use sdds::proxy::DisseminationChannel;
 use sdds::xml::generator::{self, GeneratorConfig, StreamProfile};
 use sdds::xml::writer;
 
@@ -62,8 +69,10 @@ fn fanout_is_byte_identical_to_independent_unicasts() {
         let key = SecretKey::derive(b"fanout-prop", &format!("case-{case}"));
         let subscribers = rng.gen_range(1usize..5);
 
-        // One publisher fanning out to M subscribers...
-        let mut fanout = FanOutDisseminator::new("feed", key.clone());
+        // One publisher encrypting once, with the DSP fanning the shared
+        // ciphertext out to M subscribers...
+        let mut publisher = DisseminationChannel::new("feed", key.clone());
+        let mut fanout = FanOutDisseminator::new("feed");
         let members: Vec<(sdds::dsp::service::SubscriberId, RuleSet)> = (0..subscribers)
             .map(|m| {
                 let subject = format!("sub{m}");
@@ -71,8 +80,10 @@ fn fanout_is_byte_identical_to_independent_unicasts() {
                 (id, subscriber_rules(&mut rng, &subject))
             })
             .collect();
-        let published = fanout.publish_all(&stream);
+        let published = publisher.publish_all(&stream);
         assert!(published > 0, "case {case}: stream generated no items");
+        let delivered = fanout.deliver_all(publisher.published());
+        assert_eq!(delivered, published);
 
         // ...versus M independent unicast channels publishing the same stream.
         for (m, (id, rules)) in members.iter().enumerate() {
@@ -122,12 +133,20 @@ fn fanout_is_byte_identical_to_independent_unicasts() {
             );
         }
 
-        // The O(1)-encryptions invariant: publishing cost is independent of M.
+        // The O(1)-encryptions invariant: publishing cost is independent of
+        // M. The publisher's history counts one encryption per item, and the
+        // DSP delivered exactly those allocations (no copy, no re-encrypt).
         assert_eq!(
-            fanout.encryptions(),
+            publisher.published().len(),
             published,
             "case {case}: fan-out must encrypt once per item, not per subscriber"
         );
+        for (p, d) in publisher.published().iter().zip(fanout.delivered()) {
+            assert!(
+                std::sync::Arc::ptr_eq(p, d),
+                "case {case}: DSP must forward the publisher's allocation"
+            );
+        }
         // And the broadcast medium carries each item once, not M times.
         let mut unicast = DisseminationChannel::new("feed", key.clone());
         unicast.publish_all(&stream);
