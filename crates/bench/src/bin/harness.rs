@@ -449,6 +449,49 @@ fn e9_streaming_vs_dom(report: &mut Report) {
             (soe.ledger.events_processed as f64 / soe_elapsed).round(),
         );
     }
+    e9_zero_copy_serve(report);
+}
+
+/// Repetitions of the zero-copy serve loop; best run reported, like E1.
+const E9_SERVE_REPS: usize = 3;
+/// Chunk-serve events per zero-copy timing run.
+const E9_SERVE_EVENTS: usize = 200_000;
+
+/// Measures the DSP's raw chunk-serve throughput: each event hands out the
+/// stored ciphertext as a refcount bump (`Arc<[u8]>`) plus an unserialised
+/// Merkle proof, so the per-event cost must stay flat no matter how large
+/// the chunks are. The bench gate pins this as
+/// `e9.zero_copy.serve_events_per_s`.
+fn e9_zero_copy_serve(report: &mut Report) {
+    use sdds_dsp::ShardedStore;
+
+    let doc = workloads::hospital(2_000);
+    let secure = workloads::secure(&doc, 128, 32);
+    let chunk_count = secure.header.chunk_count.max(1);
+    let store = ShardedStore::new(4);
+    store.put_document(secure);
+    let revision = store
+        .revision("bench-doc")
+        .expect("the document was just stored");
+    let mut best = f64::INFINITY;
+    for _ in 0..E9_SERVE_REPS {
+        let start = Instant::now();
+        for event in 0..E9_SERVE_EVENTS {
+            let index = (event as u32) % chunk_count;
+            let (chunk, proof) = store
+                .fetch_chunk_pinned("bench-doc", index, revision)
+                .expect("stored chunk serves");
+            std::hint::black_box((chunk.len(), proof.leaf_index));
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let events_per_s = (E9_SERVE_EVENTS as f64 / best).round();
+    println!(
+        "{:>10} {:>24}",
+        "zero-copy",
+        format!("{events_per_s} serve events/s")
+    );
+    report.put("e9.zero_copy.serve_events_per_s", events_per_s);
 }
 
 fn e10_multi_client(report: &mut Report) {

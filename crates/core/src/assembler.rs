@@ -189,6 +189,7 @@ impl ViewAssembler {
         self.drain();
         if !self.queue.is_empty() {
             return Err(CoreError::BadState {
+                // alloc: cold — truncated-input error path at end of stream.
                 message: format!(
                     "{} events are still pending at end of stream (truncated input?)",
                     self.queue.len()
@@ -275,6 +276,7 @@ impl ViewAssembler {
 
         // Rules applying directly to the node.
         let annotated_direct = annotation.map(|a| a.direct.as_slice()).unwrap_or(&[]);
+        // alloc: amortized — scratch bounded by the rules annotated on this one node.
         let mut direct = Vec::with_capacity(annotated_direct.len());
         for m in annotated_direct {
             let applies = match m.matches.evaluate(&truth) {
@@ -304,6 +306,7 @@ impl ViewAssembler {
             self.stats.nodes_delivered += 1;
             self.emit_scaffolding();
             self.ready.push(Event::Open {
+                // alloc: amortized — one owned tag name per delivered element; the frame keeps the original for the closing tag.
                 name: name.clone(),
                 attrs,
             });
@@ -336,15 +339,13 @@ impl ViewAssembler {
     /// Emits the opening tags of ancestors that are needed for well-formedness
     /// but were not authorized themselves. Scaffolding tags carry no attribute.
     fn emit_scaffolding(&mut self) {
-        let unemitted: Vec<usize> = self
-            .stack
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| !f.emitted)
-            .map(|(i, _)| i)
-            .collect();
-        for i in unemitted {
+        for i in 0..self.stack.len() {
+            if self.stack[i].emitted {
+                continue;
+            }
             self.ready.push(Event::Open {
+                // alloc: amortized — each ancestor is emitted at most once;
+                // the frame keeps its own copy for the closing tag.
                 name: self.stack[i].name.clone(),
                 attrs: Vec::<Attribute>::new(),
             });

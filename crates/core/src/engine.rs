@@ -248,6 +248,7 @@ impl SecureEvaluationSession {
         }
         if index != self.next_chunk {
             return Err(CoreError::BadState {
+                // alloc: cold — out-of-order chunk error path.
                 message: format!(
                     "expected chunk {} but received chunk {index}",
                     self.next_chunk
@@ -256,6 +257,7 @@ impl SecureEvaluationSession {
         }
         if self.last_supplied_chunk == Some(index) {
             return Err(CoreError::BadState {
+                // alloc: cold — duplicate chunk error path.
                 message: format!("chunk {index} supplied twice"),
             });
         }
@@ -264,6 +266,7 @@ impl SecureEvaluationSession {
         //    to the authenticated Merkle root.
         if proof.leaf_index != index as usize {
             return Err(sdds_crypto::CryptoError::BadProof {
+                // alloc: cold — mismatched proof error path.
                 message: format!(
                     "proof is for chunk {} but chunk {index} was supplied",
                     proof.leaf_index
@@ -323,6 +326,7 @@ impl SecureEvaluationSession {
             .rules
             .for_subject(&config.subject)
             .map(|r| (r.sign, PathSignature::build(&r.object, dict)))
+            // alloc: startup — path signatures are built once per session, from the dictionary chunk.
             .collect();
         self.query_signature = config
             .query
@@ -606,6 +610,7 @@ impl AccessControlApplet {
             Err(_) => return ApduResponse::error(StatusWord::WRONG_LENGTH),
         };
         let rules_key = match card.keys_ref().get(KeyId(RULES_KEY_ID)) {
+            // alloc: startup — PUT_RULES provisioning, once per session.
             Ok(k) => k.clone(),
             Err(_) => return ApduResponse::error(StatusWord::NOT_FOUND),
         };
@@ -640,6 +645,7 @@ impl AccessControlApplet {
     }
 
     fn handle_open_session(&mut self, card: &mut SmartCard, command: &Apdu) -> ApduResponse {
+        // alloc: startup — session-open provisioning, once per session.
         let Some(rules) = self.rules.clone() else {
             return ApduResponse::error(StatusWord::CONDITIONS_NOT_SATISFIED);
         };
@@ -653,6 +659,7 @@ impl AccessControlApplet {
             u32::from(command.p1)
         };
         let key = match card.keys_ref().get(KeyId(key_id)) {
+            // alloc: startup — session-open provisioning, once per session.
             Ok(k) => k.clone(),
             Err(_) => return ApduResponse::error(StatusWord::NOT_FOUND),
         };
@@ -664,6 +671,7 @@ impl AccessControlApplet {
             evaluator_config = evaluator_config.with_policy(crate::conflict::AccessPolicy::open());
         }
         if let Some(query) = &self.query {
+            // alloc: startup — session-open provisioning, once per session.
             evaluator_config = evaluator_config.with_query(query.clone());
         }
         let mut config =
@@ -690,6 +698,7 @@ impl AccessControlApplet {
             SessionRequest::NeedChunk(i) => i,
             SessionRequest::Done => u32::MAX,
         };
+        // alloc: amortized — 4-byte response payload; the APDU response owns its data.
         ApduResponse::ok(value.to_le_bytes().to_vec())
     }
 
@@ -733,6 +742,7 @@ impl AccessControlApplet {
                     self.output_text.extend_from_slice(text.as_bytes());
                 }
                 let available = (self.output_text.len() - self.output_pos) as u32;
+                // alloc: amortized — 4-byte response payload; the APDU response owns its data.
                 ApduResponse::ok(available.to_le_bytes().to_vec())
             }
             Err(e) => ApduResponse::error(Self::status_for(&e)),
@@ -742,6 +752,7 @@ impl AccessControlApplet {
     fn handle_get_output(&mut self) -> ApduResponse {
         let available = &self.output_text[self.output_pos..];
         let take = available.len().min(250);
+        // alloc: amortized — copies at most 250 output bytes into the APDU window, which owns its data.
         let data = available[..take].to_vec();
         self.output_pos += take;
         ApduResponse::ok(data)
@@ -750,7 +761,9 @@ impl AccessControlApplet {
     fn handle_close_session(&mut self) -> ApduResponse {
         match self.session.take() {
             Some(session) => {
+                // alloc: startup — session teardown, once per session.
                 let stats = session.stats().clone();
+                // alloc: startup — session teardown, once per session.
                 let mut data = Vec::with_capacity(20);
                 data.extend_from_slice(&(stats.ledger.bytes_decrypted as u32).to_le_bytes());
                 data.extend_from_slice(&(stats.ledger.bytes_skipped as u32).to_le_bytes());

@@ -136,12 +136,14 @@ impl StreamingEvaluator {
         for rule in config.rules.for_subject(&config.subject) {
             compiled.push(EngineRule::compile(rule)?);
         }
+        // alloc: startup — evaluator construction at session open.
         let query = config.query.as_ref().map(|q| q.compiled().clone());
         let has_query = query.is_some();
         Ok(StreamingEvaluator {
             engine: RuleEngine::new(compiled, query),
             assembler: ViewAssembler::new(config.policy, has_query)
                 .with_pending_high_water(config.pending_high_water),
+            // alloc: startup — evaluator construction at session open.
             subject: config.subject.clone(),
             events_in: 0,
             events_out: 0,

@@ -336,8 +336,10 @@ impl RuleEngine {
             query,
             table,
             // frames[0] is the virtual document node.
+            // alloc: startup — engine construction at session open.
             frames: vec![Frame::default()],
             instances: Vec::new(),
+            // alloc: startup — engine construction at session open.
             buckets: vec![Vec::new(); symbol_count],
             wild_bucket: Vec::new(),
             scratch: Vec::new(),
@@ -378,6 +380,7 @@ impl RuleEngine {
     /// skip-index logic uses these to ask whether a rule could still progress
     /// inside an upcoming subtree.
     pub fn active_positions(&self) -> Vec<Vec<usize>> {
+        // alloc: amortized — one position list per skip probe, bounded by the rule count.
         let mut positions = vec![vec![0usize]; self.rules.len()];
         for frame in &self.frames {
             for run in &frame.runs {
@@ -398,6 +401,7 @@ impl RuleEngine {
         if self.query.is_none() {
             return Vec::new();
         }
+        // alloc: amortized — one position list per skip probe, bounded by the rule count.
         let mut positions = vec![0usize];
         for frame in &self.frames {
             for run in &frame.runs {
@@ -651,6 +655,7 @@ impl RuleEngine {
 
         // Assemble the annotation and push + register the frame.
         let mut annotation = NodeAnnotation {
+            // alloc: amortized — annotation scratch bounded by the rules matching this node.
             direct: Vec::with_capacity(direct.len()),
             query: query_match,
         };
@@ -675,6 +680,7 @@ impl RuleEngine {
             &mut self.bucket_entries,
         );
         outputs.push(EngineOutput::Annotated {
+            // alloc: amortized — the hand-off to the assembler owns its event; one copy per node.
             event: event.clone(),
             annotation: Some(annotation),
         });
@@ -708,6 +714,7 @@ impl RuleEngine {
             );
         }
         outputs.push(EngineOutput::Annotated {
+            // alloc: amortized — the hand-off to the assembler owns its event; one copy per node.
             event: event.clone(),
             annotation: None,
         });
@@ -762,6 +769,7 @@ impl RuleEngine {
             );
         }
         outputs.push(EngineOutput::Annotated {
+            // alloc: amortized — the hand-off to the assembler owns its event; one copy per node.
             event: event.clone(),
             annotation: None,
         });
@@ -807,6 +815,7 @@ impl OpenScope<'_> {
         }) {
             return;
         }
+        // alloc: amortized — dependency list per fired edge, bounded by the edge's deferred predicates.
         let mut new_deps = deps.to_vec();
         for &pid in &edge.deferred {
             new_deps.push(self.instance_for(pid));
@@ -822,11 +831,13 @@ impl OpenScope<'_> {
                             &mut self.direct.last_mut().expect("just pushed").1
                         }
                     };
+                    // alloc: amortized — alternative sets share the per-edge dependency list, bounded by rule fan-out.
                     matches.add(new_deps.clone());
                 }
                 Target::Query => {
                     self.query_match
                         .get_or_insert_with(MatchAlternatives::default)
+                        // alloc: amortized — alternative sets share the per-edge dependency list, bounded by rule fan-out.
                         .add(new_deps.clone());
                 }
             }
@@ -857,6 +868,7 @@ impl OpenScope<'_> {
         if program.is_self_text() {
             self.new_frame.watchers.push(Watcher {
                 instance: id,
+                // alloc: amortized — a watcher captures its predicate condition once per instantiation.
                 condition: program.condition.clone(),
                 buffer: String::new(),
                 saw_text: false,
@@ -915,6 +927,7 @@ impl OpenScope<'_> {
                 // A value condition on the element's direct text: watch it.
                 self.new_frame.watchers.push(Watcher {
                     instance: pr.instance,
+                    // alloc: amortized — a watcher captures its predicate condition once per instantiation.
                     condition: program.condition.clone(),
                     buffer: String::new(),
                     saw_text: false,

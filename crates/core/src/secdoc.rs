@@ -15,6 +15,8 @@
 //! * a small plaintext **header** carries the identifiers, geometry and the
 //!   authenticated root; the header itself is covered by the HMAC.
 
+use std::sync::Arc;
+
 use sdds_crypto::hmac::{hmac_sha256, verify_mac};
 use sdds_crypto::merkle::{MerkleProof, MerkleTree};
 use sdds_crypto::modes::{chunk_iv, ctr_apply};
@@ -53,6 +55,7 @@ pub struct DocumentHeader {
 
 impl DocumentHeader {
     fn mac_input(&self) -> Vec<u8> {
+        // alloc: startup — the header MAC is computed once per session open.
         let mut buf = Vec::with_capacity(64 + self.doc_id.len());
         buf.extend_from_slice(self.doc_id.as_bytes());
         buf.push(0);
@@ -74,10 +77,21 @@ impl DocumentHeader {
             Ok(())
         } else {
             Err(CryptoError::IntegrityFailure {
+                // alloc: cold — integrity-failure error path.
                 context: format!("header of document `{}`", self.doc_id),
             }
             .into())
         }
+    }
+
+    /// Serialised size of [`DocumentHeader::encode`]'s output, without
+    /// building it — the DSP accounts header bytes per serve, and computing
+    /// the count keeps the serving read path allocation-free.
+    pub fn encoded_len(&self) -> usize {
+        // magic + version + id length prefix + id + nonce + chunk_size +
+        // chunk_count + plaintext_len + tokens_start + recursive_bitmaps +
+        // merkle_root + mac.
+        4 + 1 + 2 + self.doc_id.len() + 8 + 4 + 4 + 8 + 8 + 1 + 32 + 32
     }
 
     /// Serialises the header.
@@ -101,6 +115,7 @@ impl DocumentHeader {
     /// Parses a header.
     pub fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
         let bad = |m: &str| CoreError::BadDocument {
+            // alloc: cold — malformed header error path.
             message: format!("header: {m}"),
         };
         if bytes.len() < 7 || &bytes[..4] != b"SDDS" {
@@ -115,6 +130,7 @@ impl DocumentHeader {
             bytes
                 .get(pos..pos + id_len)
                 .ok_or_else(|| bad("truncated id"))?
+                // alloc: startup — the header decodes once per session open.
                 .to_vec(),
         )
         .map_err(|_| bad("non UTF-8 id"))?;
@@ -155,8 +171,10 @@ impl DocumentHeader {
 pub struct SecureDocument {
     /// Plaintext header.
     pub header: DocumentHeader,
-    /// Encrypted chunks.
-    pub chunks: Vec<Vec<u8>>,
+    /// Encrypted chunks. Each chunk sits behind an `Arc` so the DSP can
+    /// serve it by bumping a refcount instead of copying ciphertext per
+    /// request (the chunks are immutable once built).
+    pub chunks: Vec<Arc<[u8]>>,
     /// Merkle tree over the encrypted chunks (kept by the publisher / DSP to
     /// serve proofs).
     merkle: MerkleTree,
@@ -172,7 +190,13 @@ impl SecureDocument {
 
     /// Ciphertext of chunk `index`.
     pub fn chunk(&self, index: usize) -> Option<&[u8]> {
-        self.chunks.get(index).map(Vec::as_slice)
+        self.chunks.get(index).map(|c| &c[..])
+    }
+
+    /// Shared handle to the ciphertext of chunk `index` — the zero-copy
+    /// serving form: the DSP hands the same allocation to every requester.
+    pub fn chunk_shared(&self, index: usize) -> Option<Arc<[u8]>> {
+        self.chunks.get(index).map(Arc::clone)
     }
 
     /// Merkle proof of chunk `index`.
@@ -182,7 +206,7 @@ impl SecureDocument {
 
     /// Total ciphertext size (what the DSP stores for the document body).
     pub fn ciphertext_len(&self) -> usize {
-        self.chunks.iter().map(Vec::len).sum()
+        self.chunks.iter().map(|c| c.len()).sum()
     }
 
     /// Serialised size of one chunk's Merkle proof.
@@ -271,11 +295,11 @@ impl SecureDocumentBuilder {
         let cipher = Aes128::new(enc_key.as_bytes());
         let mut chunks = Vec::with_capacity(plaintext.len().div_ceil(self.chunk_size).max(1));
         if plaintext.is_empty() {
-            chunks.push(Vec::new());
+            chunks.push(Arc::from(&[][..]));
         } else {
             for (index, chunk) in plaintext.chunks(self.chunk_size).enumerate() {
                 let iv = chunk_iv(&self.nonce, index as u64);
-                chunks.push(ctr_apply(&cipher, &iv, chunk));
+                chunks.push(ctr_apply(&cipher, &iv, chunk).into());
             }
         }
         let merkle = MerkleTree::build(&chunks);

@@ -38,6 +38,7 @@ pub struct ProtectedRules {
 
 impl ProtectedRules {
     fn mac_input(version: u64, iv: &[u8; 16], ciphertext: &[u8]) -> Vec<u8> {
+        // alloc: startup — rule blobs seal/open at provisioning, once per session.
         let mut buf = Vec::with_capacity(8 + 16 + ciphertext.len());
         buf.extend_from_slice(&version.to_le_bytes());
         buf.extend_from_slice(iv);
@@ -81,6 +82,7 @@ impl ProtectedRules {
         if let Some(min) = minimum_version {
             if self.version < min {
                 return Err(CoreError::BadState {
+                    // alloc: cold — tampered rule blob error path.
                     message: format!(
                         "rule set version {} is older than the installed version {min} (rollback rejected)",
                         self.version
@@ -122,6 +124,7 @@ impl ProtectedRules {
     /// Parses a serialised protected rule set.
     pub fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
         let bad = |m: &str| CoreError::BadDocument {
+            // alloc: cold — malformed rule blob error path.
             message: format!("protected rules: {m}"),
         };
         if bytes.len() < 8 + 16 + 32 + 4 {
@@ -136,6 +139,7 @@ impl ProtectedRules {
         let ciphertext = bytes
             .get(60..60 + len)
             .ok_or_else(|| bad("truncated body"))?
+            // alloc: startup — rule blobs decode at provisioning, once per session.
             .to_vec();
         Ok(ProtectedRules {
             version,
@@ -161,6 +165,7 @@ pub struct KeyProvisioning {
 
 impl KeyProvisioning {
     fn mac_input(key_id: u32, iv: &[u8; 16], wrapped: &[u8]) -> Vec<u8> {
+        // alloc: startup — key wrapping runs at provisioning, once per key.
         let mut buf = Vec::with_capacity(4 + 16 + wrapped.len());
         buf.extend_from_slice(&key_id.to_le_bytes());
         buf.extend_from_slice(iv);
@@ -203,6 +208,7 @@ impl KeyProvisioning {
     /// Parses a provisioning message.
     pub fn decode(bytes: &[u8]) -> Result<Self, CoreError> {
         let bad = |m: &str| CoreError::BadDocument {
+            // alloc: cold — malformed key blob error path.
             message: format!("key provisioning: {m}"),
         };
         if bytes.len() < 4 + 16 + 32 + 2 {
@@ -217,6 +223,7 @@ impl KeyProvisioning {
         let wrapped = bytes
             .get(54..54 + len)
             .ok_or_else(|| bad("truncated body"))?
+            // alloc: startup — key blobs decode at provisioning, once per key.
             .to_vec();
         Ok(KeyProvisioning {
             key_id,

@@ -120,6 +120,7 @@ impl TokenReader {
             }
             if offset > self.cursor {
                 return Err(CoreError::BadState {
+                    // alloc: cold — plaintext-gap error path.
                     message: format!(
                         "plaintext gap: reader needs offset {} but received {offset}",
                         self.cursor
@@ -136,6 +137,7 @@ impl TokenReader {
             }
             if offset > window_end {
                 return Err(CoreError::BadState {
+                    // alloc: cold — plaintext-gap error path.
                     message: format!(
                         "plaintext gap: window ends at {window_end} but received offset {offset}"
                     ),
@@ -172,6 +174,7 @@ impl TokenReader {
     fn current_reference(&self) -> TagReference {
         self.ref_stack
             .last()
+            // alloc: amortized — the recursive tag reference is a small bitmap, cloned per summary probe.
             .map(|(_, r)| r.clone())
             .unwrap_or_else(|| TagReference::full(self.dict.len()))
     }
@@ -181,6 +184,7 @@ impl TokenReader {
             .name(TagId(id as u16))
             .map(str::to_owned)
             .ok_or_else(|| CoreError::BadDocument {
+                // alloc: cold — unknown-tag error path.
                 message: format!("unknown tag id {id}"),
             })
     }
@@ -205,6 +209,7 @@ impl TokenReader {
                     return Ok(ReadResult::NeedData);
                 };
                 pos += used;
+                // alloc: amortized — attribute list sized to this one element.
                 let mut attrs = Vec::with_capacity(attr_count as usize);
                 for _ in 0..attr_count {
                     let Some((name_id, used)) = read_varint(&self.window, pos) else {
@@ -225,6 +230,7 @@ impl TokenReader {
                 let name = self.tag_name(tag)?;
                 self.consume(pos - start);
                 self.depth += 1;
+                // alloc: amortized — the reader tracks one open tag name per element for well-formedness.
                 self.open_names.push(name.clone());
                 self.last_open_depth = Some(self.depth);
                 Ok(ReadResult::Token(TokenEvent::Event(Event::Open {
@@ -303,6 +309,7 @@ impl TokenReader {
                 })))
             }
             other => Err(CoreError::BadDocument {
+                // alloc: cold — unknown-token error path.
                 message: format!(
                     "unknown token marker 0x{other:02X} at offset {}",
                     self.cursor

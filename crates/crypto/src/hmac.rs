@@ -44,14 +44,17 @@ pub fn verify_mac(expected: &[u8], actual: &[u8]) -> bool {
 // taint: source — stretches a secret into fresh key material; the output
 // bytes are exactly as secret as the input key.
 pub fn derive_key(key: &[u8], label: &str, len: usize) -> Vec<u8> {
+    // alloc: startup — keys derive at provisioning and session open, never per event.
     let mut out = Vec::with_capacity(len);
     let mut previous: Vec<u8> = Vec::new();
     let mut counter = 1u8;
     while out.len() < len {
+        // alloc: startup — keys derive at provisioning and session open, never per event.
         let mut msg = previous.clone();
         msg.extend_from_slice(label.as_bytes());
         msg.push(counter);
         let block = hmac_sha256(key, &msg);
+        // alloc: startup — keys derive at provisioning and session open, never per event.
         previous = block.to_vec();
         out.extend_from_slice(&block);
         counter = counter.wrapping_add(1);

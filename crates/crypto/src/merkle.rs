@@ -104,6 +104,7 @@ impl MerkleTree {
     pub fn proof(&self, index: usize) -> Result<MerkleProof, CryptoError> {
         if index >= self.leaf_count() {
             return Err(CryptoError::BadProof {
+                // alloc: cold — out-of-range leaf error path.
                 message: format!("leaf index {index} out of range (0..{})", self.leaf_count()),
             });
         }
@@ -147,13 +148,23 @@ impl MerkleProof {
             Ok(())
         } else {
             Err(CryptoError::IntegrityFailure {
+                // alloc: cold — integrity-failure error path.
                 context: format!("merkle proof for chunk {}", self.leaf_index),
             })
         }
     }
 
+    /// Serialised size of [`MerkleProof::encode`]'s output, without building
+    /// it — callers that only account proof bytes (the DSP's per-shard serve
+    /// counters) can stay allocation-free.
+    pub fn encoded_len(&self) -> usize {
+        // leaf index + sibling count + (side flag + digest) per sibling.
+        8 + 1 + self.siblings.len() * (DIGEST_SIZE + 1)
+    }
+
     /// Serialises the proof (leaf index, count, then digest+side pairs).
     pub fn encode(&self) -> Vec<u8> {
+        // alloc: amortized — one proof wire image per served chunk, ~33 bytes per tree level.
         let mut out = Vec::with_capacity(8 + 1 + self.siblings.len() * (DIGEST_SIZE + 1));
         out.extend_from_slice(&(self.leaf_index as u64).to_le_bytes());
         out.push(self.siblings.len() as u8);
@@ -167,6 +178,7 @@ impl MerkleProof {
     /// Deserialises a proof produced by [`MerkleProof::encode`].
     pub fn decode(bytes: &[u8]) -> Result<Self, CryptoError> {
         let err = |m: &str| CryptoError::BadProof {
+            // alloc: cold — malformed proof error path.
             message: m.to_owned(),
         };
         if bytes.len() < 9 {
@@ -175,6 +187,7 @@ impl MerkleProof {
         // lint: infallible — `bytes.len() >= 9` is checked above.
         let leaf_index = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
         let count = bytes[8] as usize;
+        // alloc: amortized — one decoded proof per supplied chunk, bounded by tree depth.
         let mut siblings = Vec::with_capacity(count);
         let mut pos = 9usize;
         for _ in 0..count {

@@ -39,6 +39,7 @@ pub fn cbc_decrypt(
             len: ciphertext.len(),
         });
     }
+    // alloc: startup — CBC runs for key unwrap at provisioning only.
     let mut out = Vec::with_capacity(ciphertext.len());
     let mut prev = *iv;
     for chunk in ciphertext.chunks(BLOCK_SIZE) {
@@ -60,6 +61,7 @@ pub fn cbc_decrypt(
 /// The 16-byte `nonce` is the initial counter block; the counter occupies the
 /// last 8 bytes (big-endian) and is incremented per block.
 pub fn ctr_apply(cipher: &Aes128, nonce: &[u8; BLOCK_SIZE], data: &[u8]) -> Vec<u8> {
+    // alloc: amortized — one chunk-sized buffer per decrypted chunk; the SOE working set stays one chunk.
     let mut out = Vec::with_capacity(data.len());
     let mut counter_block = *nonce;
     // lint: infallible — an 8-byte slice of a `[u8; BLOCK_SIZE]` block.

@@ -401,9 +401,11 @@ impl ActorEngine {
                         error: None,
                     }),
                 })
+                // alloc: startup — the actor fleet is built once per engine run.
                 .collect(),
             locals: (0..self.workers)
                 .map(|_| Mutex::new(VecDeque::new()))
+                // alloc: startup — the actor fleet is built once per engine run.
                 .collect(),
             injector: Mutex::new(VecDeque::new()),
             epoch: Mutex::new(0),
@@ -414,6 +416,7 @@ impl ActorEngine {
             retired: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
             batch_limit: self.batch,
+            // alloc: startup — the actor fleet is built once per engine run.
             obs: self.obs.clone(),
         };
         if start_ready {
@@ -480,6 +483,7 @@ impl ActorEngine {
                     error: body.error,
                 }
             })
+            // alloc: startup — the report is assembled once at engine shutdown.
             .collect();
         ActorReport {
             actors,

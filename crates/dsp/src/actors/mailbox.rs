@@ -111,6 +111,7 @@ impl<E> Mailbox<E> {
         let mut inner = self.inner.lock_np();
         inner.state = MailboxState::Running;
         let take = inner.queue.len().min(batch);
+        // alloc: amortized — one delivery vector per claim, amortized over the drained batch.
         let events: Vec<E> = inner.queue.drain(..take).collect();
         drop(inner);
         if !events.is_empty() {

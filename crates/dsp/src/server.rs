@@ -13,6 +13,7 @@
 //! path.
 
 use sdds_obs::{families, Counter, Registry};
+use sdds_sync::sync::Arc;
 
 use sdds_core::secdoc::{DocumentHeader, SecureDocument};
 use sdds_core::session::ProtectedRules;
@@ -237,12 +238,12 @@ impl DspServer {
         &self,
         doc_id: &str,
         index: u32,
-    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    ) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
         self.service.fetch_chunk(doc_id, index)
     }
 
     /// Fetches the protected rule blob of `subject`.
-    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
+    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Arc<[u8]>, CoreError> {
         self.service.fetch_rules(doc_id, subject)
     }
 }

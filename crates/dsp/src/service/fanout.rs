@@ -102,6 +102,7 @@ impl FanOutDisseminator {
 
     /// Drains the mailbox of one subscriber.
     pub fn drain(&mut self, id: SubscriberId) -> Vec<Arc<StreamItem>> {
+        // alloc: amortized — hands the subscriber its queued Arc items: refcount bumps plus one Vec per drain.
         self.subscribers[id.0].mailbox.drain(..).collect()
     }
 

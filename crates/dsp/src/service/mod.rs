@@ -279,7 +279,7 @@ impl DspService {
         &self,
         doc_id: &str,
         index: u32,
-    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    ) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
         self.store.fetch_chunk(doc_id, index)
     }
 
@@ -290,7 +290,7 @@ impl DspService {
         doc_id: &str,
         index: u32,
         revision: u64,
-    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    ) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
         self.store.fetch_chunk_pinned(doc_id, index, revision)
     }
 
@@ -302,13 +302,13 @@ impl DspService {
         index: u32,
         revision: u64,
         salt: u64,
-    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    ) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
         self.store
             .fetch_chunk_pinned_salted(doc_id, index, revision, salt)
     }
 
     /// Fetches the protected rule blob of `subject` for `doc_id`.
-    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
+    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Arc<[u8]>, CoreError> {
         self.store.fetch_rules(doc_id, subject)
     }
 
@@ -320,7 +320,7 @@ impl DspService {
         doc_id: &str,
         subject: &str,
         revision: u64,
-    ) -> Result<Vec<u8>, CoreError> {
+    ) -> Result<Arc<[u8]>, CoreError> {
         self.store.fetch_rules_pinned(doc_id, subject, revision)
     }
 
@@ -332,7 +332,7 @@ impl DspService {
         subject: &str,
         revision: u64,
         salt: u64,
-    ) -> Result<Vec<u8>, CoreError> {
+    ) -> Result<Arc<[u8]>, CoreError> {
         self.store
             .fetch_rules_pinned_salted(doc_id, subject, revision, salt)
     }

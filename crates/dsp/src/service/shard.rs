@@ -63,6 +63,7 @@ use crate::store::{DocumentRecord, DspStore};
 fn check_revision(record: &DocumentRecord, pinned: Option<u64>) -> Result<(), CoreError> {
     match pinned {
         Some(rev) if record.revision != rev => Err(CoreError::StaleRevision {
+            // alloc: cold — stale-revision error path.
             doc_id: record.document.header.doc_id.clone(),
             pinned: rev,
             current: record.revision,
@@ -78,50 +79,59 @@ fn serve_header(
     pinned: Option<u64>,
 ) -> Result<DocumentHeader, CoreError> {
     check_revision(record, pinned)?;
+    // alloc: startup — one header fetch per card session (the SOE caches it);
+    // chunk serves, the per-event path, share ciphertext without copying.
     let header = record.document.header.clone();
-    stats.record_header(header.encode().len());
+    stats.record_header(header.encoded_len());
     Ok(header)
 }
 
 /// Serves one encrypted chunk and its Merkle proof out of `record`.
+///
+/// The ciphertext is shared, not copied: the returned [`Arc`] aliases the
+/// stored chunk, so the per-event cost is a refcount bump plus the (small)
+/// Merkle sibling path, regardless of the chunk size.
 fn serve_chunk(
     record: &DocumentRecord,
     stats: &AtomicServerStats,
     index: u32,
     pinned: Option<u64>,
-) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
     check_revision(record, pinned)?;
     let doc_id = &record.document.header.doc_id;
     let chunk = record
         .document
-        .chunk(index as usize)
+        .chunk_shared(index as usize)
         .ok_or_else(|| CoreError::BadState {
+            // alloc: cold — out-of-range error path, never taken by a
+            // well-formed session.
             message: format!("chunk {index} out of range for `{doc_id}`"),
-        })?
-        .to_vec();
+        })?;
     let proof = record.document.proof(index as usize)?;
-    stats.record_chunk(chunk.len() + proof.encode().len());
+    stats.record_chunk(chunk.len() + proof.encoded_len());
     Ok((chunk, proof))
 }
 
-/// Serves the protected rule blob of `subject` out of `record`.
+/// Serves the protected rule blob of `subject` out of `record`. The blob is
+/// `Arc`-shared with the store, so a serve never copies it.
 fn serve_rules(
     record: &DocumentRecord,
     stats: &AtomicServerStats,
     subject: &str,
     pinned: Option<u64>,
-) -> Result<Vec<u8>, CoreError> {
+) -> Result<Arc<[u8]>, CoreError> {
     check_revision(record, pinned)?;
     let blob = record
         .rules
         .get(subject)
         .ok_or_else(|| CoreError::NoRulesForSubject {
+            // alloc: cold — unknown-subject error path.
             doc_id: record.document.header.doc_id.clone(),
+            // alloc: cold — unknown-subject error path.
             subject: subject.to_owned(),
-        })?
-        .clone();
+        })?;
     stats.record_rules(blob.len());
-    Ok(blob)
+    Ok(Arc::clone(blob))
 }
 
 /// FNV-1a over the document id (the workspace's [`Fnv1a`] hasher) — stable
@@ -328,6 +338,7 @@ impl ShardedStore {
         let Some(record) = shard.store.get(doc_id) else {
             return (
                 Err(CoreError::NotFound {
+                    // alloc: cold — unknown-document error path.
                     doc_id: doc_id.to_owned(),
                 }),
                 home,
@@ -357,7 +368,9 @@ impl ShardedStore {
                 None => {
                     drop(directory);
                     let mut directory = self.directory.write_np();
+                    // alloc: amortized — the directory entry is created once per document; later serves only bump an atomic.
                     let entry = directory.entry(doc_id.to_owned()).or_insert(ReplicaEntry {
+                        // alloc: amortized — the directory entry is created once per document; later serves only bump an atomic.
                         shards: vec![self.shard_of(doc_id)],
                         pinned: None,
                         serves: AtomicUsize::new(0),
@@ -407,20 +420,25 @@ impl ShardedStore {
         let record = {
             let shard = self.shards[home].read_np();
             match shard.store.get(doc_id) {
+                // alloc: cold — replication runs once, when a document crosses the hot threshold.
                 Some(record) => Arc::new(record.clone()),
                 None => return,
             }
         };
+        // alloc: cold — replication runs once, when a document crosses the hot threshold.
         let mut shards = vec![home];
         for offset in 1..copies {
             let target = (home + offset) % self.shards.len();
             self.shards[target]
                 .write_np()
                 .replicas
+                // alloc: cold — replication runs once, when a document crosses the hot threshold.
                 .insert(doc_id.to_owned(), Arc::clone(&record));
             shards.push(target);
         }
+        // alloc: cold — replication runs once, when a document crosses the hot threshold.
         let entry = directory.entry(doc_id.to_owned()).or_insert(ReplicaEntry {
+            // alloc: cold — replication runs once, when a document crosses the hot threshold.
             shards: vec![home],
             pinned: None,
             serves: AtomicUsize::new(0),
@@ -519,7 +537,7 @@ impl ShardedStore {
                     // `make_mut` copies-on-write for this shard only.
                     Arc::make_mut(record)
                         .rules
-                        .insert(subject.to_owned(), rules.encode());
+                        .insert(subject.to_owned(), rules.encode().into());
                 }
             }
         }
@@ -563,7 +581,7 @@ impl ShardedStore {
         &self,
         doc_id: &str,
         index: u32,
-    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    ) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
         self.serve(doc_id, u64::from(index) + 1, |record, stats| {
             serve_chunk(record, stats, index, None)
         })
@@ -577,7 +595,7 @@ impl ShardedStore {
         doc_id: &str,
         index: u32,
         revision: u64,
-    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    ) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
         self.fetch_chunk_pinned_salted(doc_id, index, revision, 0)
     }
 
@@ -590,7 +608,7 @@ impl ShardedStore {
         index: u32,
         revision: u64,
         salt: u64,
-    ) -> Result<(Vec<u8>, MerkleProof), CoreError> {
+    ) -> Result<(Arc<[u8]>, MerkleProof), CoreError> {
         self.serve(
             doc_id,
             salt.wrapping_add(u64::from(index) + 1),
@@ -599,7 +617,7 @@ impl ShardedStore {
     }
 
     /// Fetches the protected rule blob of `subject` for `doc_id`.
-    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Vec<u8>, CoreError> {
+    pub fn fetch_rules(&self, doc_id: &str, subject: &str) -> Result<Arc<[u8]>, CoreError> {
         self.serve(doc_id, fnv1a(subject.as_bytes()), |record, stats| {
             serve_rules(record, stats, subject, None)
         })
@@ -613,7 +631,7 @@ impl ShardedStore {
         doc_id: &str,
         subject: &str,
         revision: u64,
-    ) -> Result<Vec<u8>, CoreError> {
+    ) -> Result<Arc<[u8]>, CoreError> {
         self.fetch_rules_pinned_salted(doc_id, subject, revision, 0)
     }
 
@@ -626,7 +644,7 @@ impl ShardedStore {
         subject: &str,
         revision: u64,
         salt: u64,
-    ) -> Result<Vec<u8>, CoreError> {
+    ) -> Result<Arc<[u8]>, CoreError> {
         self.serve(
             doc_id,
             salt.wrapping_add(fnv1a(subject.as_bytes())),
@@ -953,8 +971,8 @@ mod tests {
         }
         for subject in &subjects {
             assert_eq!(
-                store.fetch_rules("hot", subject).unwrap(),
-                sealed.encode(),
+                store.fetch_rules("hot", subject).unwrap()[..],
+                sealed.encode()[..],
                 "routed rule fetch for `{subject}` must see the synced blob"
             );
         }

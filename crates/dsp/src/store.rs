@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use sdds_sync::sync::Arc;
+
 use sdds_core::secdoc::SecureDocument;
 use sdds_core::session::ProtectedRules;
 use sdds_core::CoreError;
@@ -12,8 +14,9 @@ use sdds_core::CoreError;
 pub struct DocumentRecord {
     /// The encrypted document.
     pub document: SecureDocument,
-    /// Protected rule blobs, keyed by subject name. Opaque to the DSP.
-    pub rules: BTreeMap<String, Vec<u8>>,
+    /// Protected rule blobs, keyed by subject name. Opaque to the DSP, and
+    /// `Arc`-shared so serving one is a refcount bump, not a copy.
+    pub rules: BTreeMap<String, Arc<[u8]>>,
     /// Upload counter (bumped on every replacement).
     pub revision: u64,
 }
@@ -82,7 +85,9 @@ impl DspStore {
             .ok_or_else(|| CoreError::NotFound {
                 doc_id: doc_id.to_owned(),
             })?;
-        record.rules.insert(subject.to_owned(), rules.encode());
+        record
+            .rules
+            .insert(subject.to_owned(), rules.encode().into());
         Ok(())
     }
 
@@ -186,6 +191,6 @@ mod tests {
         assert!(store.put_rules("nope", "doctor", &sealed).is_err());
         let record = store.get("a").unwrap();
         assert_eq!(record.rules.len(), 1);
-        assert_eq!(record.rules["doctor"], sealed.encode());
+        assert_eq!(record.rules["doctor"][..], sealed.encode()[..]);
     }
 }

@@ -1,0 +1,1105 @@
+//! Call-site extraction over the fn bodies captured by [`crate::items`],
+//! and the workspace-wide call graph the hot-path escape analyzer walks.
+//!
+//! The extractor runs over `blank_noncode`-blanked body text, so string and
+//! char literals can never fake a call. It recognizes three call shapes plus
+//! macro invocations:
+//!
+//! - **free calls** — `helper(x)`, including module-qualified paths like
+//!   `secdoc::decrypt_chunk(…)` (a lowercase qualifier is a module, and the
+//!   final segment names the workspace fn);
+//! - **method calls** — `record.clone()`, `iter.collect::<Vec<_>>()`
+//!   (turbofish is skipped before the argument list);
+//! - **UFCS calls** — `Arc::clone(&x)`, `Vec::with_capacity(n)`,
+//!   `Self::helper(…)` (the uppercase qualifier is kept so the resolver can
+//!   match it against impl self types, and the exemption list can whitelist
+//!   refcount bumps like `Arc::clone`);
+//! - **macros** — `format!(…)`, `vec![…]`.
+//!
+//! Resolution is deliberately conservative, in the same certain-answer
+//! spirit as the taint pass: a method call `x.f(…)` falls back to *every*
+//! workspace method named `f`, because the linter has no type inference.
+//! Over-approximation can only create false hot paths, never hide one; the
+//! `// alloc:` annotation grammar is the reviewed escape hatch for the
+//! spurious ones. Shapes where the syntax pins the type *are* resolved
+//! precisely, because by-name fallback on names like `push`/`encode`/`finish`
+//! would otherwise drag half the workspace onto every hot path:
+//!
+//! - `self.f(…)` resolves against the caller's own impl type;
+//! - `Type::<Args>::assoc(…)` recovers `Type` over the balanced angles;
+//! - `x.f(…)` resolves against `x`'s *declared* type when the fn binds one —
+//!   a typed param (`outputs: &mut Vec<…>`), an annotated `let`, a
+//!   `let x = Type::ctor(…)` initializer, or a `vec![…]` literal — and a
+//!   declared std container (`EXTERNAL_TYPES`) resolves to no workspace fn
+//!   at all;
+//! - `self.field.f(…)` (and longer ident-only chains) walks the declared
+//!   struct field types, so `self.frames.push(…)` on a `Vec` field stops
+//!   resolving to every workspace `push`.
+
+use std::collections::BTreeMap;
+
+use crate::graph::type_idents;
+use crate::items::{parse_items, FnBody, ItemKind};
+use crate::taint::SourceFile;
+
+/// The syntactic shape of one call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(…)` — a free (or module-qualified) fn call.
+    Free,
+    /// `recv.method(…)` — a method call through a receiver.
+    Method,
+    /// `Type::assoc(…)` / `Self::assoc(…)` — a qualified call.
+    Ufcs,
+    /// `name!(…)` / `name![…]` — a macro invocation.
+    Macro,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based file line of the callee identifier.
+    pub line: usize,
+    /// The called fn/macro name (the last path segment).
+    pub callee: String,
+    /// For [`CallKind::Ufcs`]: the path qualifier directly before `::`
+    /// (`Arc` in `Arc::clone`, `Self` in `Self::helper`, `Vec` in
+    /// `Vec::<Attribute>::new`). `None` for `<T as Trait>::method(…)`
+    /// qualified paths. For [`CallKind::Method`]: the receiver text when it
+    /// is a `.`-joined chain of plain identifiers (`self` in `self.f(…)`,
+    /// `self.frames` in `self.frames.push(…)`), `None` for receivers built
+    /// from calls or indexing like `g().f(…)` and `v[i].f(…)`.
+    pub qualifier: Option<String>,
+    /// The syntactic shape.
+    pub kind: CallKind,
+}
+
+impl CallSite {
+    /// The site rendered the way vocabulary lists spell it: `Arc::clone`
+    /// for UFCS, the bare name otherwise.
+    pub fn qualified_name(&self) -> String {
+        match (&self.qualifier, self.kind) {
+            (Some(q), CallKind::Ufcs) => format!("{q}::{}", self.callee),
+            _ => self.callee.clone(),
+        }
+    }
+}
+
+/// Keywords that can precede `(` without being calls (`if (x)`, `match (…)`)
+/// or name pseudo-callees the graph must ignore.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "let", "mut",
+    "ref", "move", "in", "as", "fn", "impl", "dyn", "where", "unsafe", "async", "await", "true",
+    "false",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extracts every call site from a captured (blanked) fn body.
+pub fn call_sites(body: &FnBody) -> Vec<CallSite> {
+    let text = body.text.as_str();
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if !is_ident_start(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut end = i;
+        while end < bytes.len() && is_ident_byte(bytes[end]) {
+            end += 1;
+        }
+        let ident = &text[start..end];
+        i = end;
+        if KEYWORDS.contains(&ident) {
+            continue;
+        }
+        // Macro invocation: `name!` followed by an open delimiter (`!=` is a
+        // comparison, not a macro).
+        if bytes.get(end) == Some(&b'!') && bytes.get(end + 1) != Some(&b'=') {
+            let after = bytes[end + 1..]
+                .iter()
+                .find(|b| !b.is_ascii_whitespace())
+                .copied();
+            if matches!(after, Some(b'(') | Some(b'[') | Some(b'{')) {
+                out.push(CallSite {
+                    line: body.line_at(start),
+                    callee: ident.to_owned(),
+                    qualifier: None,
+                    kind: CallKind::Macro,
+                });
+            }
+            continue;
+        }
+        // Turbofish: `collect::<Vec<_>>(…)` — skip `::<…>` before the
+        // argument list. A plain `::ident` path is left alone; the *next*
+        // identifier will be classified with this one as its qualifier.
+        let mut j = end;
+        if bytes.get(j) == Some(&b':') && bytes.get(j + 1) == Some(&b':') {
+            let k = j + 2;
+            if bytes.get(k) == Some(&b'<') {
+                let mut depth = 0i32;
+                let mut m = k;
+                while m < bytes.len() {
+                    match bytes[m] {
+                        b'<' => depth += 1,
+                        b'>' if m > 0 && bytes[m - 1] != b'-' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                j = (m + 1).min(bytes.len());
+            } else {
+                continue;
+            }
+        }
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'(') {
+            continue;
+        }
+        // Classify by what directly precedes the identifier.
+        let mut p = start;
+        while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        let (kind, qualifier) = if p >= 1 && bytes[p - 1] == b'.' {
+            // Receiver look-back: walk back over a `.`-joined chain of plain
+            // identifiers (`buf.f(…)` → `buf`, `self.frames.push(…)` →
+            // `self.frames`), which the resolver can type through declared
+            // bindings and struct fields. Any other link — a call `g().f(…)`,
+            // an index `v[i].f(…)` — makes the receiver unknowable, so the
+            // site stays unqualified and resolves by name.
+            let chain_end = p - 1;
+            let mut q = chain_end;
+            let mut plain = true;
+            loop {
+                let seg_end = q;
+                while q > 0 && is_ident_byte(bytes[q - 1]) {
+                    q -= 1;
+                }
+                if q == seg_end || bytes[q].is_ascii_digit() {
+                    plain = false;
+                    break;
+                }
+                if q > 0 && bytes[q - 1] == b'.' {
+                    q -= 1;
+                    continue;
+                }
+                break;
+            }
+            let receiver = &text[q..chain_end];
+            let plain = plain && !receiver.is_empty();
+            (CallKind::Method, plain.then(|| receiver.to_owned()))
+        } else if p >= 2 && bytes[p - 1] == b':' && bytes[p - 2] == b':' {
+            let mut q = p - 2;
+            while q > 0 && bytes[q - 1].is_ascii_whitespace() {
+                q -= 1;
+            }
+            if q >= 1 && bytes[q - 1] == b'>' {
+                // Either a turbofished type path — `Vec::<Attribute>::new(…)`
+                // — or a qualified path — `<T as Trait>::method(…)`. Scan
+                // back over the balanced `<…>`: a `::` directly before the
+                // `<` means turbofish, and the identifier before it is the
+                // real qualifier; anything else is unknowable here.
+                let mut depth = 0i32;
+                let mut m = q;
+                while m > 0 {
+                    m -= 1;
+                    match bytes[m] {
+                        b'>' if m == 0 || bytes[m - 1] != b'-' => depth += 1,
+                        b'<' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if depth == 0 && m >= 2 && bytes[m - 1] == b':' && bytes[m - 2] == b':' {
+                    let qend = m - 2;
+                    let mut qstart = qend;
+                    while qstart > 0 && is_ident_byte(bytes[qstart - 1]) {
+                        qstart -= 1;
+                    }
+                    let qualifier = &text[qstart..qend];
+                    if qualifier.is_empty() {
+                        (CallKind::Ufcs, None)
+                    } else {
+                        (CallKind::Ufcs, Some(qualifier.to_owned()))
+                    }
+                } else {
+                    (CallKind::Ufcs, None)
+                }
+            } else {
+                let qend = q;
+                while q > 0 && is_ident_byte(bytes[q - 1]) {
+                    q -= 1;
+                }
+                let qualifier = &text[q..qend];
+                if qualifier.is_empty() {
+                    (CallKind::Ufcs, None)
+                } else {
+                    (CallKind::Ufcs, Some(qualifier.to_owned()))
+                }
+            }
+        } else {
+            // A nested `fn helper(…)` *definition* is not a call site of
+            // `helper`; its own body text still scans as part of this one,
+            // which conservatively attributes its calls to the outer fn.
+            let mut q = p;
+            while q > 0 && is_ident_byte(bytes[q - 1]) {
+                q -= 1;
+            }
+            if &text[q..p] == "fn" {
+                continue;
+            }
+            (CallKind::Free, None)
+        };
+        out.push(CallSite {
+            line: body.line_at(start),
+            callee: ident.to_owned(),
+            qualifier,
+            kind,
+        });
+    }
+    out
+}
+
+/// Std container/pointer types whose methods live outside the workspace: a
+/// receiver *declared* with one of these resolves to no workspace fn at all
+/// (`outputs.push(…)` on a `Vec` must not reach every workspace `push`).
+/// Their allocating methods are still caught site-wise by the escape pass's
+/// vocabulary, which matches names without resolving them.
+const EXTERNAL_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "String", "BTreeMap", "BTreeSet", "HashMap", "HashSet", "Box", "Rc",
+    "Option", "Result", "Path", "PathBuf", "Duration", "Instant", "Range",
+];
+
+/// Skips one lifetime at the front of `rest`: either a raw `'a`, or the
+/// form `blank_noncode` leaves behind — the apostrophe blanked to a space,
+/// so `&'a mut T` scans as `& a mut T` and the lifetime reads as a lone
+/// lowercase word. Two space-separated words never occur in a type except
+/// after `mut`/`dyn`/`impl` (which the callers strip the same way), so a
+/// lowercase word with more text after it is such a remnant.
+fn skip_lifetime(rest: &str) -> &str {
+    if let Some(r) = rest.strip_prefix('\'') {
+        let end = r
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(r.len());
+        return r[end..].trim_start();
+    }
+    let end = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    if end > 0
+        && rest.starts_with(|c: char| c.is_ascii_lowercase())
+        && &rest[..end] != "self"
+        && rest[end..].starts_with(|c: char| c.is_ascii_whitespace())
+        && !rest[end..].trim_start().is_empty()
+    {
+        return rest[end..].trim_start();
+    }
+    rest
+}
+
+/// The base identifier of a declared type: `&mut Vec<EngineOutput>` → `Vec`,
+/// `sdds_xml::Event` → `Event`, `&'a str` → `None` (primitives and generics
+/// stay untyped). Only an uppercase-initial final segment counts.
+fn base_type(text: &str) -> Option<String> {
+    let mut rest = text.trim_start();
+    loop {
+        let before = rest;
+        rest = rest.strip_prefix('&').unwrap_or(rest).trim_start();
+        for kw in ["mut ", "dyn ", "impl "] {
+            rest = rest.strip_prefix(kw).unwrap_or(rest).trim_start();
+        }
+        rest = skip_lifetime(rest);
+        if rest == before {
+            break;
+        }
+    }
+    loop {
+        let end = rest
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(rest.len());
+        let (ident, tail) = rest.split_at(end);
+        if ident.is_empty() {
+            return None;
+        }
+        // A lowercase segment followed by `::` is a module path — keep going.
+        if tail.starts_with("::") && ident.starts_with(|c: char| c.is_ascii_lowercase()) {
+            rest = &tail[2..];
+            continue;
+        }
+        return ident
+            .starts_with(|c: char| c.is_ascii_uppercase())
+            .then(|| ident.to_owned());
+    }
+}
+
+/// Splits `text` at commas that sit outside every `<…>`, `(…)`, `[…]` group.
+fn split_top_commas(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b'>' | b')' | b']' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+/// Typed bindings declared by the signature: each `name: Type` parameter
+/// whose pattern is a plain identifier, mapped to the type's base ident.
+fn param_bindings(signature: &str, out: &mut BTreeMap<String, String>) {
+    // The parameter list is the first paren group at angle-depth zero (a
+    // `Fn(…)` bound inside the generics must not fool the scan).
+    let bytes = signature.as_bytes();
+    let mut depth = 0i32;
+    let mut open = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] != b'-' => depth -= 1,
+            b'(' if depth == 0 => {
+                open = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else { return };
+    let mut pdepth = 0i32;
+    let mut close = None;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => pdepth += 1,
+            b')' => {
+                pdepth -= 1;
+                if pdepth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else { return };
+    for param in split_top_commas(&signature[open + 1..close]) {
+        let Some((pat, ty)) = param.split_once(':') else {
+            continue;
+        };
+        let name = pat.trim().trim_start_matches("mut ").trim();
+        if name == "self" || name.is_empty() || !name.bytes().all(is_ident_byte) {
+            continue;
+        }
+        if let Some(base) = base_type(ty) {
+            out.insert(name.to_owned(), base);
+        }
+    }
+}
+
+/// Typed bindings declared in the body: `let [mut] name: Type = …` uses the
+/// annotation; `let [mut] name = Type::ctor(…)` trusts the constructor path
+/// (the usual `Fnv1a::default()` / `Parser::new(…)` idiom — a constructor
+/// returning some *other* type simply yields a binding no resolution will
+/// match, which falls back to by-name).
+fn let_bindings(body: &FnBody, out: &mut BTreeMap<String, String>) {
+    let text = body.text.as_str();
+    let bytes = text.as_bytes();
+    for (at, _) in text.match_indices("let") {
+        if (at > 0 && is_ident_byte(bytes[at - 1]))
+            || bytes.get(at + 3).copied().is_some_and(is_ident_byte)
+        {
+            continue;
+        }
+        let mut i = at + 3;
+        let word = |i: &mut usize| {
+            while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+                *i += 1;
+            }
+            let start = *i;
+            while *i < bytes.len() && is_ident_byte(bytes[*i]) {
+                *i += 1;
+            }
+            start..*i
+        };
+        let mut name = word(&mut i);
+        if &text[name.clone()] == "mut" {
+            name = word(&mut i);
+        }
+        if name.is_empty() {
+            continue;
+        }
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let base = match bytes.get(i) {
+            Some(b':') if bytes.get(i + 1) != Some(&b':') => {
+                // Annotated: the type text runs to the `=` or `;` outside
+                // every bracket group.
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'<' | b'(' | b'[' => depth += 1,
+                        b'>' if bytes[j - 1] == b'-' => {}
+                        b'>' | b')' | b']' => depth -= 1,
+                        b'=' | b';' if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                base_type(&text[i + 1..j])
+            }
+            Some(b'=') if bytes.get(i + 1) != Some(&b'=') => {
+                // Initializer: `Type::ctor(…)` and the struct literal
+                // `Type { … }` pin the type; a `vec![…]` literal pins `Vec`.
+                let path = word(&mut { i + 1 });
+                let ident = &text[path.clone()];
+                let tail = text[path.end..].trim_start();
+                if ident == "vec" && text[path.end..].starts_with('!') {
+                    Some("Vec".to_owned())
+                } else if text[path.end..].starts_with("::") || tail.starts_with('{') {
+                    ident
+                        .starts_with(|c: char| c.is_ascii_uppercase())
+                        .then(|| ident.to_owned())
+                } else {
+                    // `let x = deps.to_vec();` — the slice-copy tail always
+                    // yields a `Vec`, whatever the receiver was.
+                    let mut depth = 0i32;
+                    let mut j = i + 1;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'(' | b'[' | b'{' => depth += 1,
+                            b')' | b']' | b'}' => depth -= 1,
+                            b';' if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    text[i + 1..j]
+                        .trim_end()
+                        .ends_with(".to_vec()")
+                        .then(|| "Vec".to_owned())
+                }
+            }
+            _ => None,
+        };
+        if let Some(base) = base {
+            out.insert(text[name].to_owned(), base);
+        }
+    }
+}
+
+/// True when the fn signature declares a `self` receiver (`&self`,
+/// `&'a mut self`, `mut self`, `self`, `self: Pin<…>`). Associated functions
+/// without one can never be the target of a `recv.method(…)` call, so the
+/// graph keeps them out of the by-name method index.
+fn takes_self(signature: &str) -> bool {
+    // The receiver paren is the first `(` at angle-depth zero — a `Fn(…)`
+    // bound inside the generic parameter list must not fool the scan.
+    let bytes = signature.as_bytes();
+    let mut depth = 0i32;
+    let mut params = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] != b'-' => depth -= 1,
+            b'(' if depth == 0 => {
+                params = Some(i + 1);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(params) = params else { return false };
+    let mut rest = signature[params..].trim_start();
+    if let Some(r) = rest.strip_prefix('&') {
+        rest = skip_lifetime(r.trim_start());
+    }
+    if let Some(r) = rest.strip_prefix("mut ") {
+        rest = r.trim_start();
+    }
+    rest.strip_prefix("self").is_some_and(|r| {
+        r.starts_with([',', ')', ':']) || r.trim_start().starts_with([',', ')', ':'])
+    })
+}
+
+/// One fn in the workspace call graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the declaring file in the `files` slice the graph was built
+    /// from.
+    pub file: usize,
+    /// The fn name.
+    pub name: String,
+    /// Base name of the impl/trait self type (`ShardedStore` for a method
+    /// of `impl ShardedStore`), `None` for free fns.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the fn sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// The captured body span, if the fn has a body.
+    pub body: Option<FnBody>,
+    /// Extracted call sites, in source order.
+    pub calls: Vec<CallSite>,
+    /// Receiver ident → declared base type, from typed params and `let`s.
+    pub bindings: BTreeMap<String, String>,
+}
+
+impl FnNode {
+    /// `Type::name` for methods, the bare name for free fns.
+    pub fn qualified_name(&self) -> String {
+        match &self.self_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace call graph: every fn item across the given files, indexed
+/// for the three resolution shapes.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All fn nodes, in file order.
+    pub fns: Vec<FnNode>,
+    by_free_name: BTreeMap<String, Vec<usize>>,
+    by_method_name: BTreeMap<String, Vec<usize>>,
+    by_qualified: BTreeMap<(String, String), Vec<usize>>,
+    /// `(struct base, field name)` → field type base, from braced struct
+    /// declarations — types `self.field.m(…)` receiver chains.
+    field_types: BTreeMap<(String, String), String>,
+}
+
+impl CallGraph {
+    /// Parses every file and builds the graph. Test-gated fns are kept as
+    /// nodes (so annotations inside them can be located) but are never
+    /// resolution targets — test code cannot put a fn on a hot path.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut graph = CallGraph::default();
+        for (fi, file) in files.iter().enumerate() {
+            for item in parse_items(&file.contents) {
+                if item.kind == ItemKind::Struct && !item.in_test {
+                    for (fname, ftext) in &item.fields {
+                        if let Some(base) = base_type(ftext) {
+                            graph
+                                .field_types
+                                .insert((item.name.clone(), fname.clone()), base);
+                        }
+                    }
+                }
+                if item.kind != ItemKind::Fn {
+                    continue;
+                }
+                let self_type = item
+                    .self_type
+                    .as_deref()
+                    .and_then(|ty| type_idents(ty).into_iter().next());
+                let calls = item.body.as_ref().map(call_sites).unwrap_or_default();
+                let mut bindings = BTreeMap::new();
+                param_bindings(&item.signature, &mut bindings);
+                if let Some(body) = &item.body {
+                    let_bindings(body, &mut bindings);
+                }
+                if let Some(ty) = &self_type {
+                    // `let x = Self::ctor(…)` binds to the impl type.
+                    for v in bindings.values_mut() {
+                        if v == "Self" {
+                            v.clone_from(ty);
+                        }
+                    }
+                }
+                let index = graph.fns.len();
+                if !item.in_test {
+                    match &self_type {
+                        Some(ty) => {
+                            graph
+                                .by_qualified
+                                .entry((ty.clone(), item.name.clone()))
+                                .or_default()
+                                .push(index);
+                            // Only real methods — fns with a `self` receiver —
+                            // are candidates for `recv.method(…)` dispatch;
+                            // associated fns are reachable solely through
+                            // their `Type::assoc(…)` qualified form.
+                            if takes_self(&item.signature) {
+                                graph
+                                    .by_method_name
+                                    .entry(item.name.clone())
+                                    .or_default()
+                                    .push(index);
+                            }
+                        }
+                        None => {
+                            graph
+                                .by_free_name
+                                .entry(item.name.clone())
+                                .or_default()
+                                .push(index);
+                        }
+                    }
+                }
+                graph.fns.push(FnNode {
+                    file: fi,
+                    name: item.name,
+                    self_type,
+                    line: item.line,
+                    in_test: item.in_test,
+                    body: item.body,
+                    calls,
+                    bindings,
+                });
+            }
+        }
+        graph
+    }
+
+    /// Resolves one call site of `caller` to the workspace fns it may reach.
+    ///
+    /// - free calls → free fns of that name;
+    /// - `Type::assoc(…)` → methods of impls whose self-type base matches
+    ///   (`Self::` resolves against the caller's own self type); a lowercase
+    ///   qualifier is a module path, so the call resolves like a free call;
+    /// - `recv.m(…)` → when the receiver's type is pinned (`self` → the
+    ///   impl type; a plain ident → its declared binding), the type's own
+    ///   `m` if it defines one, or *nothing* if the type is a declared std
+    ///   container (`EXTERNAL_TYPES`); otherwise — and for
+    ///   `<T as Trait>::m(…)` — every workspace method of that name,
+    ///   conservative, see the module docs;
+    /// - macros → nothing (vocabulary macros are matched directly by the
+    ///   escape pass).
+    pub fn callees(&self, caller: usize, site: &CallSite) -> &[usize] {
+        static EMPTY: [usize; 0] = [];
+        match site.kind {
+            CallKind::Macro => &EMPTY,
+            CallKind::Free => self
+                .by_free_name
+                .get(&site.callee)
+                .map_or(&EMPTY[..], Vec::as_slice),
+            CallKind::Method => {
+                let node = &self.fns[caller];
+                // Type the receiver chain head (`self` → the impl type, a
+                // plain ident → its declared binding), then walk any `.field`
+                // links through declared struct fields. A link that fails to
+                // type drops to the by-name fallback.
+                let ty = site.qualifier.as_deref().and_then(|recv| {
+                    let mut segments = recv.split('.');
+                    let head = segments.next()?;
+                    let mut ty = match head {
+                        "self" => node.self_type.clone()?,
+                        _ => node.bindings.get(head)?.clone(),
+                    };
+                    for field in segments {
+                        ty = self.field_types.get(&(ty, field.to_owned()))?.clone();
+                    }
+                    Some(ty)
+                });
+                if let Some(ty) = ty {
+                    if let Some(hit) = self.by_qualified.get(&(ty.clone(), site.callee.clone())) {
+                        return hit;
+                    }
+                    if EXTERNAL_TYPES.contains(&ty.as_str()) {
+                        return &EMPTY;
+                    }
+                }
+                self.by_method_name
+                    .get(&site.callee)
+                    .map_or(&EMPTY[..], Vec::as_slice)
+            }
+            CallKind::Ufcs => match &site.qualifier {
+                Some(q) if q == "Self" => match &self.fns[caller].self_type {
+                    Some(ty) => self
+                        .by_qualified
+                        .get(&(ty.clone(), site.callee.clone()))
+                        .map_or(&EMPTY[..], Vec::as_slice),
+                    None => &EMPTY,
+                },
+                Some(q) if q.starts_with(|c: char| c.is_ascii_uppercase()) => self
+                    .by_qualified
+                    .get(&(q.clone(), site.callee.clone()))
+                    .map_or(&EMPTY[..], Vec::as_slice),
+                // Lowercase qualifier: a module path — resolve the final
+                // segment as a free fn.
+                Some(_) => self
+                    .by_free_name
+                    .get(&site.callee)
+                    .map_or(&EMPTY[..], Vec::as_slice),
+                None => self
+                    .by_method_name
+                    .get(&site.callee)
+                    .map_or(&EMPTY[..], Vec::as_slice),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, contents: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_owned(),
+            contents: contents.to_owned(),
+        }
+    }
+
+    fn sites(src: &str) -> Vec<CallSite> {
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let node = graph
+            .fns
+            .iter()
+            .find(|f| f.name == "subject")
+            .unwrap_or_else(|| panic!("no subject fn in {src}"));
+        node.calls.clone()
+    }
+
+    #[test]
+    fn extracts_free_method_ufcs_and_macro_calls() {
+        let got = sites(
+            "fn subject(x: &[u8]) {\n    helper(x);\n    x.to_vec();\n    Arc::clone(&a);\n    format!(\"{x:?}\");\n}\n",
+        );
+        let shapes: Vec<(CallKind, &str, Option<&str>)> = got
+            .iter()
+            .map(|s| (s.kind, s.callee.as_str(), s.qualifier.as_deref()))
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                (CallKind::Free, "helper", None),
+                (CallKind::Method, "to_vec", Some("x")),
+                (CallKind::Ufcs, "clone", Some("Arc")),
+                (CallKind::Macro, "format", None),
+            ],
+            "{got:?}"
+        );
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[3].line, 5);
+    }
+
+    #[test]
+    fn turbofish_and_chains_are_calls() {
+        let got =
+            sites("fn subject(v: Vec<u8>) {\n    v.iter().map(double).collect::<Vec<_>>();\n}\n");
+        let names: Vec<&str> = got.iter().map(|s| s.callee.as_str()).collect();
+        assert_eq!(names, ["iter", "map", "collect"], "{got:?}");
+        assert!(got.iter().all(|s| s.kind == CallKind::Method));
+    }
+
+    #[test]
+    fn literals_keywords_and_comparisons_are_not_calls() {
+        let got = sites(
+            "fn subject(x: u8) {\n    let s = \"fake(\";\n    if x != 0 { return; }\n    match (x, 0) { _ => {} }\n}\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn nested_fn_definitions_are_not_call_sites() {
+        let got =
+            sites("fn subject() {\n    fn local(x: u8) -> u8 { double(x) }\n    local(3);\n}\n");
+        let names: Vec<&str> = got.iter().map(|s| s.callee.as_str()).collect();
+        // `double` inside the nested body is attributed to `subject`
+        // (conservative); the `fn local(…)` head itself is not a call.
+        assert_eq!(names, ["double", "local"], "{got:?}");
+    }
+
+    #[test]
+    fn graph_resolves_free_method_and_self_calls() {
+        let src = "\
+struct Store;
+impl Store {
+    fn serve(&self) { helper(); self.account(1); Self::check(); }
+    fn account(&self, n: usize) {}
+    fn check() {}
+}
+fn helper() {}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let serve = graph.fns.iter().position(|f| f.name == "serve").unwrap();
+        let by_name = |n: &str| graph.fns.iter().position(|f| f.name == n).unwrap();
+        let mut reached = Vec::new();
+        for site in &graph.fns[serve].calls {
+            reached.extend_from_slice(graph.callees(serve, site));
+        }
+        assert!(reached.contains(&by_name("helper")), "{reached:?}");
+        assert!(reached.contains(&by_name("account")), "{reached:?}");
+        assert!(reached.contains(&by_name("check")), "{reached:?}");
+    }
+
+    #[test]
+    fn module_qualified_calls_resolve_as_free_fns() {
+        let src = "\
+fn subject() { secdoc::decrypt_chunk(); }
+fn decrypt_chunk() {}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let subject = graph.fns.iter().position(|f| f.name == "subject").unwrap();
+        let site = &graph.fns[subject].calls[0];
+        assert_eq!(site.kind, CallKind::Ufcs);
+        assert_eq!(site.qualifier.as_deref(), Some("secdoc"));
+        let reached = graph.callees(subject, site);
+        assert_eq!(reached.len(), 1);
+        assert_eq!(graph.fns[reached[0]].name, "decrypt_chunk");
+    }
+
+    #[test]
+    fn test_gated_fns_are_never_resolution_targets() {
+        let src = "\
+fn subject() { helper(); }
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let subject = graph.fns.iter().position(|f| f.name == "subject").unwrap();
+        let site = &graph.fns[subject].calls[0];
+        assert!(graph.callees(subject, site).is_empty());
+    }
+
+    #[test]
+    fn declared_receiver_types_resolve_precisely() {
+        let src = "\
+struct Rules;
+impl Rules {
+    fn push(&mut self, x: u8) { helper(); }
+}
+struct Hasher2;
+impl Hasher2 {
+    fn default() -> Hasher2 { Hasher2 }
+    fn finish(&self) -> u64 { 0 }
+}
+struct Engine;
+impl Engine {
+    fn step(&mut self, outputs: &mut Vec<u8>, rules: &mut Rules) {
+        outputs.push(1);
+        rules.push(2);
+        let mut hasher = Hasher2::default();
+        hasher.finish();
+        let scratch: Vec<u8> = Vec::with_capacity(4);
+        scratch.push(3);
+    }
+}
+fn helper() {}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let step = graph.fns.iter().position(|f| f.name == "step").unwrap();
+        let resolved: Vec<Vec<String>> = graph.fns[step]
+            .calls
+            .iter()
+            .map(|s| {
+                graph
+                    .callees(step, s)
+                    .iter()
+                    .map(|&i| graph.fns[i].qualified_name())
+                    .collect()
+            })
+            .collect();
+        // outputs: Vec → std, nothing; rules: Rules → Rules::push;
+        // hasher = Hasher2::default() → Hasher2::finish;
+        // Hasher2::default + Vec::with_capacity are UFCS sites;
+        // scratch: Vec (annotated let) → std, nothing.
+        let flat: Vec<String> = resolved.into_iter().flatten().collect();
+        assert_eq!(
+            flat,
+            ["Rules::push", "Hasher2::default", "Hasher2::finish"],
+            "{:?}",
+            graph.fns[step].calls
+        );
+    }
+
+    #[test]
+    fn associated_fns_are_not_method_call_targets() {
+        let src = "\
+struct Config;
+impl Config {
+    fn parse(text: &str) -> Config { Config }
+    fn len(&self) -> usize { 0 }
+}
+fn subject(s: &str) {
+    s.parse();
+    s.len();
+    Config::parse(s);
+}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let subject = graph.fns.iter().position(|f| f.name == "subject").unwrap();
+        let calls = &graph.fns[subject].calls;
+        assert!(
+            graph.callees(subject, &calls[0]).is_empty(),
+            "`.parse()` must not dispatch to the associated fn Config::parse"
+        );
+        assert_eq!(graph.callees(subject, &calls[1]).len(), 1);
+        assert_eq!(
+            graph.callees(subject, &calls[2]).len(),
+            1,
+            "UFCS still resolves"
+        );
+    }
+
+    #[test]
+    fn receivers_with_generic_fn_bounds_still_take_self() {
+        assert!(takes_self("fn serve<T, F: Fn(u8) -> T>(&self, f: F) -> T"));
+        assert!(takes_self("fn run(mut self) -> u8"));
+        assert!(takes_self("fn poll(self: Pin<&mut Self>)"));
+        assert!(takes_self("fn borrow<'a>(&'a mut self)"));
+        assert!(!takes_self("fn parse(text: &str) -> Config"));
+        assert!(!takes_self("fn selfish(selfy: u8)"));
+    }
+
+    #[test]
+    fn self_method_calls_resolve_against_the_callers_impl() {
+        let src = "\
+struct Card;
+impl Card {
+    fn run(&self) { self.step(); }
+    fn step(&self) {}
+}
+struct Baseline;
+impl Baseline {
+    fn step(&self) {}
+}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let run = graph.fns.iter().position(|f| f.name == "run").unwrap();
+        let site = &graph.fns[run].calls[0];
+        assert_eq!(site.qualifier.as_deref(), Some("self"));
+        let reached = graph.callees(run, site);
+        assert_eq!(
+            reached.len(),
+            1,
+            "self.step() must not reach Baseline::step"
+        );
+        assert_eq!(graph.fns[reached[0]].qualified_name(), "Card::step");
+        // An undeclared field receiver still falls back to by-name.
+        let graph = CallGraph::build(&[file(
+            "b.rs",
+            "struct A; impl A { fn go(&self) { self.inner.step(); } }\n",
+        )]);
+        let go = graph.fns.iter().position(|f| f.name == "go").unwrap();
+        assert_eq!(
+            graph.fns[go].calls[0].qualifier.as_deref(),
+            Some("self.inner")
+        );
+    }
+
+    #[test]
+    fn field_receivers_resolve_through_declared_struct_fields() {
+        let src = "\
+struct Frames { names: Vec<u8> }
+struct Rules;
+impl Rules {
+    fn push(&mut self, x: u8) {}
+}
+struct Engine { frames: Vec<u8>, rules: Rules, nested: Frames }
+impl Engine {
+    fn step(&mut self) {
+        self.frames.push(1);
+        self.rules.push(2);
+        self.nested.names.push(3);
+        self.unknown.push(4);
+        let grown = vec![0u8];
+        grown.push(5);
+    }
+}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let step = graph.fns.iter().position(|f| f.name == "step").unwrap();
+        let resolved: Vec<Vec<String>> = graph.fns[step]
+            .calls
+            .iter()
+            .map(|s| {
+                graph
+                    .callees(step, s)
+                    .iter()
+                    .map(|&i| graph.fns[i].qualified_name())
+                    .collect()
+            })
+            .collect();
+        // self.frames: Vec → nothing; self.rules: Rules → Rules::push;
+        // self.nested.names: Frames → Vec → nothing; self.unknown is
+        // undeclared → by-name fallback → Rules::push; `vec![…]` let → Vec
+        // → nothing (the `vec!` macro site itself is matched by vocabulary).
+        let flat: Vec<String> = resolved.into_iter().flatten().collect();
+        assert_eq!(
+            flat,
+            ["Rules::push", "Rules::push"],
+            "{:?}",
+            graph.fns[step].calls
+        );
+    }
+
+    #[test]
+    fn turbofished_type_paths_keep_their_qualifier() {
+        let src = "\
+struct Pool;
+impl Pool {
+    fn new() -> Pool { Pool }
+}
+fn subject() {
+    Pool::<u8>::new();
+    Vec::<u8>::new();
+    <Pool as Default>::default();
+}
+";
+        let graph = CallGraph::build(&[file("a.rs", src)]);
+        let subject = graph.fns.iter().position(|f| f.name == "subject").unwrap();
+        let calls = &graph.fns[subject].calls;
+        assert_eq!(calls[0].qualifier.as_deref(), Some("Pool"), "{calls:?}");
+        assert_eq!(calls[1].qualifier.as_deref(), Some("Vec"));
+        assert_eq!(
+            calls[2].qualifier, None,
+            "trait-qualified path is unknowable"
+        );
+        // `Pool::<u8>::new` reaches exactly Pool::new; `Vec::<u8>::new`
+        // reaches nothing (no workspace Vec) instead of every `new`.
+        let reached = graph.callees(subject, &calls[0]);
+        assert_eq!(reached.len(), 1);
+        assert_eq!(graph.fns[reached[0]].qualified_name(), "Pool::new");
+        assert!(graph.callees(subject, &calls[1]).is_empty());
+    }
+
+    #[test]
+    fn method_resolution_spans_files() {
+        let graph = CallGraph::build(&[
+            file("a.rs", "fn subject(s: &Store) { s.serve_chunk(0); }\n"),
+            file(
+                "b.rs",
+                "struct Store;\nimpl Store {\n    fn serve_chunk(&self, i: u32) {}\n}\n",
+            ),
+        ]);
+        let subject = graph.fns.iter().position(|f| f.name == "subject").unwrap();
+        let reached = graph.callees(subject, &graph.fns[subject].calls[0]);
+        assert_eq!(reached.len(), 1);
+        assert_eq!(graph.fns[reached[0]].qualified_name(), "Store::serve_chunk");
+    }
+}

@@ -37,6 +37,8 @@
 //! layer (rules **taint-dsp**, **taint-obs**, **taint-debug**,
 //! **taint-annotation**).
 
+pub mod calls;
+pub mod escape;
 pub mod graph;
 pub mod items;
 pub mod taint;
@@ -74,6 +76,12 @@ pub enum Rule {
     /// A crypto boundary fn missing its `// taint: source|sink` annotation,
     /// or an annotation inconsistent with the signature it describes.
     TaintAnnotation,
+    /// An allocating/copying construct reachable from a hot root without a
+    /// justified `// alloc:` annotation.
+    HotAlloc,
+    /// A malformed or stale `// alloc:` justification, or a hot-root
+    /// pattern matching no workspace fn.
+    HotAnnotation,
 }
 
 impl Rule {
@@ -91,6 +99,8 @@ impl Rule {
             Rule::TaintObs => "taint-obs",
             Rule::TaintDebug => "taint-debug",
             Rule::TaintAnnotation => "taint-annotation",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::HotAnnotation => "hot-annotation",
         }
     }
 
@@ -107,6 +117,8 @@ impl Rule {
         Rule::TaintObs,
         Rule::TaintDebug,
         Rule::TaintAnnotation,
+        Rule::HotAlloc,
+        Rule::HotAnnotation,
     ];
 
     /// Looks a rule up by its stable name (`lint --explain <rule>`).
@@ -186,6 +198,24 @@ impl Rule {
                  with the signature: a source produces sensitive data (so it must not \
                  be declared on a fn returning only ciphertext), a sink consumes it \
                  (so it must not return Secret/Plaintext)."
+            }
+            Rule::HotAlloc => {
+                "The paper's performance argument is streaming evaluation in \
+                 near-constant RAM: the per-event serving and rule-step paths must do \
+                 constant work per event. No allocating or copying construct (clone, \
+                 to_vec, to_owned, collect, format!, owning constructors) may be \
+                 reachable from a hot root named in lint/hotpath.toml; every finding \
+                 carries its root→…→fn call chain. Serve borrowed slices or share \
+                 via Arc, or justify with `// alloc: amortized|startup|cold — \
+                 <reason>`."
+            }
+            Rule::HotAnnotation => {
+                "`// alloc:` justifications are reviewed claims and must stay \
+                 honest: the keyword must be one of amortized/startup/cold with a \
+                 nonempty reason, the annotated fn must actually be reachable from a \
+                 hot root (otherwise the annotation is stale and must go), and every \
+                 hot-root pattern in lint/hotpath.toml must match a real workspace \
+                 fn."
             }
         }
     }
@@ -293,6 +323,19 @@ struct Source<'a> {
 /// offsets. Token-level rules then cannot be fooled by `"std::sync"` in a
 /// string or an `unwrap()` in a doc example.
 fn blank_noncode(src: &str) -> String {
+    blank_noncode_impl(src, false)
+}
+
+/// Like [`blank_noncode`], but keeps the `//` marker of each line comment in
+/// place (the comment text itself is still blanked). A `//` in the output is
+/// then a *real* line-comment start — a `//` inside a string literal stays
+/// blanked — which is what the `// alloc:` annotation scanner needs to tell
+/// the two apart even when the string spans lines.
+pub(crate) fn blank_noncode_keep_markers(src: &str) -> String {
+    blank_noncode_impl(src, true)
+}
+
+fn blank_noncode_impl(src: &str, keep_line_markers: bool) -> String {
     #[derive(PartialEq)]
     enum St {
         Code,
@@ -313,7 +356,7 @@ fn blank_noncode(src: &str) -> String {
             St::Code => match b {
                 b'/' if next == Some(b'/') => {
                     st = St::Line;
-                    out.extend_from_slice(b"  ");
+                    out.extend_from_slice(if keep_line_markers { b"//" } else { b"  " });
                     i += 2;
                     continue;
                 }
@@ -366,8 +409,11 @@ fn blank_noncode(src: &str) -> String {
                     // Only a literal if it closes: 'x' or '\x'. A lifetime
                     // ('a) has no closing quote within a couple of bytes.
                     let close = if next == Some(b'\\') {
-                        // Escaped char: find the next quote.
-                        bytes[i + 2..].iter().take(8).position(|&c| c == b'\'')
+                        // Escaped char: find the next quote. The longest
+                        // escape is `\u{10FFFF}` — 10 bytes past the
+                        // backslash — so the window must reach that far, or
+                        // the literal's `{`/`}` bytes leak into blanked code.
+                        bytes[i + 2..].iter().take(10).position(|&c| c == b'\'')
                     } else if bytes.get(i + 2) == Some(&b'\'') {
                         Some(0)
                     } else {
@@ -954,6 +1000,21 @@ mod tests {
         let v = scan(src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn long_unicode_char_escapes_are_fully_blanked() {
+        // `\u{10FFFF}` is the longest char escape; a too-short lookahead
+        // fails to recognise the literal and leaks its `{`/`}` bytes into
+        // blanked code, where brace-matching passes would trip on them.
+        for src in ["let c = '\\u{10FFFF}';\n", "let c = '\\u{1F600}';\n"] {
+            assert_blanking_preserves_shape(src);
+            let blanked = blank_noncode(src);
+            assert!(
+                !blanked.contains('{') && !blanked.contains('}'),
+                "literal braces leaked: {blanked:?}"
+            );
+        }
     }
 
     #[test]

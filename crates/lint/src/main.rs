@@ -15,6 +15,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use sdds_lint::escape::{self, check_hotpath_sync, HotConfig};
 use sdds_lint::taint::{analyze, check_trust_sync, SourceFile, TrustConfig};
 use sdds_lint::{
     check_doc_sync, check_metric_sync, metric_families, scan_file, violations_to_json, FileRules,
@@ -121,7 +122,13 @@ fn run() -> Result<Vec<Violation>, String> {
     let config = TrustConfig::parse(&config_text)?;
     violations.extend(analyze(&config, &sources));
 
-    violations.extend(doc_sync(&root, &config)?);
+    let hot_path = root.join(escape::CONFIG_PATH);
+    let hot_text = std::fs::read_to_string(&hot_path)
+        .map_err(|e| format!("reading {}: {e}", hot_path.display()))?;
+    let hot_config = HotConfig::parse(&hot_text)?;
+    violations.extend(escape::analyze(&hot_config, &sources));
+
+    violations.extend(doc_sync(&root, &config, &hot_config)?);
     eprintln!(
         "sdds-lint: scanned {} files across {} crates, {} violation(s)",
         sources.len(),
@@ -134,9 +141,14 @@ fn run() -> Result<Vec<Violation>, String> {
 /// The doc-sync rule: every `crates/bench/benches/e*.rs` experiment bench
 /// must be named in ARCHITECTURE.md's experiment table, every metric family
 /// declared in `crates/obs/src/families.rs` must appear in the book's metric
-/// table, and every type tiered in `trust.toml` must appear in the book's
-/// trust-boundary table.
-fn doc_sync(root: &Path, config: &TrustConfig) -> Result<Vec<Violation>, String> {
+/// table, every type tiered in `trust.toml` must appear in the book's
+/// trust-boundary table, and every hot root in `hotpath.toml` must appear in
+/// the book's hot-root table.
+fn doc_sync(
+    root: &Path,
+    config: &TrustConfig,
+    hot_config: &HotConfig,
+) -> Result<Vec<Violation>, String> {
     let benches_dir = root.join("crates/bench/benches");
     let mut files = Vec::new();
     rust_sources(&benches_dir, &mut files)
@@ -161,6 +173,7 @@ fn doc_sync(root: &Path, config: &TrustConfig) -> Result<Vec<Violation>, String>
         &metric_families(&families_src),
     ));
     violations.extend(check_trust_sync(book_path, &book, config));
+    violations.extend(check_hotpath_sync(book_path, &book, hot_config));
     Ok(violations)
 }
 

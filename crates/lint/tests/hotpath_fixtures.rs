@@ -1,0 +1,330 @@
+//! Planted-allocation fixtures for the hot-path escape analyzer.
+//!
+//! Each fixture is a tiny workspace (a `HotConfig` plus in-memory source
+//! files) with one deliberate allocation on a hot path; the test asserts the
+//! analyzer reports it with the expected rule at the expected `file:line`
+//! and with full call-chain provenance in the message. The clean fixtures at
+//! the bottom guard against false positives on the patterns the real
+//! workspace relies on (cold fns, test-only code, justified annotations,
+//! refcount bumps, startup/builder code outside the roots).
+
+use sdds_lint::escape::{analyze, HotConfig};
+use sdds_lint::taint::SourceFile;
+use sdds_lint::{Rule, Violation};
+
+/// A minimal hot-path model mirroring the real `hotpath.toml` shape: two
+/// root patterns (a prefixed method family and a bare fn) and the same
+/// vocabulary the workspace config uses.
+const CONFIG: &str = r#"
+[roots]
+hot = ["Store::serve*", "next_event"]
+
+[vocabulary]
+methods = ["clone", "to_vec", "to_owned", "to_string", "collect"]
+constructors = ["Vec::new", "Vec::with_capacity", "Box::new", "String::from"]
+macros = ["format", "vec"]
+exempt = ["Arc::clone", "Rc::clone"]
+
+[annotations]
+keywords = ["amortized", "startup", "cold"]
+"#;
+
+fn config() -> HotConfig {
+    HotConfig::parse(CONFIG).unwrap_or_else(|e| panic!("fixture config parses: {e}"))
+}
+
+fn file(path: &str, contents: &str) -> SourceFile {
+    SourceFile {
+        path: path.to_owned(),
+        contents: contents.to_owned(),
+    }
+}
+
+fn run(files: &[SourceFile]) -> Vec<Violation> {
+    analyze(&config(), files)
+}
+
+/// Every fixture must satisfy both root patterns, or the analyzer reports
+/// the unmatched pattern against the config file and drowns the assertion.
+const ROOT_STUBS: &str = "fn next_event() {}\n";
+
+/// Asserts at least one violation of `rule` at `file:line` (and echoes the
+/// whole report on failure so the planted allocation is easy to locate).
+#[track_caller]
+fn assert_caught(violations: &[Violation], rule: Rule, path: &str, line: usize) {
+    let caught = violations
+        .iter()
+        .any(|v| v.rule == rule && v.file.to_string_lossy() == path && v.line == line);
+    assert!(
+        caught,
+        "expected a {} at {path}:{line}, got: {violations:#?}",
+        rule.name()
+    );
+}
+
+/// Fetches the message of the `rule` violation at `file:line` for
+/// provenance assertions.
+#[track_caller]
+fn message_of(violations: &[Violation], rule: Rule, path: &str, line: usize) -> String {
+    violations
+        .iter()
+        .find(|v| v.rule == rule && v.file.to_string_lossy() == path && v.line == line)
+        .unwrap_or_else(|| panic!("no {} at {path}:{line}: {violations:#?}", rule.name()))
+        .message
+        .clone()
+}
+
+// ---------------------------------------------------- planted allocations --
+
+#[test]
+fn alloc_1_direct_method_in_hot_root_is_caught() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve_chunk(&self, x: &[u8]) -> Vec<u8> {{\n        x.to_vec()\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    assert!(
+        msg.contains("Store::serve_chunk → .to_vec() @ dsp/src/shard.rs:4"),
+        "chain provenance should name the root and the construct: {msg}"
+    );
+}
+
+#[test]
+fn alloc_2_transitive_two_deep_carries_full_chain() {
+    // root → helper → deeper → format!: the report must spell out every hop.
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{ helper(); }}\n}}\nfn helper() {{ deeper(); }}\nfn deeper() {{ let s = format!(\"x\"); }}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 6);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/shard.rs", 6);
+    assert!(
+        msg.contains("Store::serve → helper → deeper → format!"),
+        "chain should list root, both hops, and the macro: {msg}"
+    );
+}
+
+#[test]
+fn alloc_3_transitive_across_files_is_caught() {
+    // The call graph is workspace-wide: the root lives in one file, the
+    // allocating helper in another.
+    let root = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{ encode_reply(); }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[
+        file("dsp/src/shard.rs", &root),
+        file(
+            "dsp/src/wire.rs",
+            "pub fn encode_reply() -> Vec<u8> {\n    Vec::with_capacity(64)\n}\n",
+        ),
+    ]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/wire.rs", 2);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/wire.rs", 2);
+    assert!(
+        msg.contains("Store::serve → encode_reply"),
+        "cross-file provenance should start at the root: {msg}"
+    );
+}
+
+#[test]
+fn alloc_4_method_chain_collect_is_caught() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self, xs: &[u8]) -> Vec<u8> {{\n        xs.iter().map(|b| b.wrapping_add(1)).collect()\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    assert!(msg.contains(".collect()"), "{msg}");
+}
+
+#[test]
+fn alloc_5_format_macro_in_bare_fn_root_is_caught() {
+    // The bare-name root (`next_event`) is hot too, not just `Type::method`
+    // patterns.
+    let v = run(&[
+        file(
+            "src/stream.rs",
+            "fn next_event(id: u64) -> String {\n    format!(\"event-{id}\")\n}\n",
+        ),
+        file(
+            "dsp/src/shard.rs",
+            "struct Store;\nimpl Store {\n    fn serve(&self) {}\n}\n",
+        ),
+    ]);
+    assert_caught(&v, Rule::HotAlloc, "src/stream.rs", 2);
+}
+
+#[test]
+fn alloc_6_inside_closure_body_is_caught() {
+    // Closures run in the enclosing fn's frame: an owning conversion inside
+    // a `map` closure on the hot path is still a per-event allocation.
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self, names: &[&str]) -> usize {{\n        names.iter().map(|n| n.to_owned()).count()\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    assert!(msg.contains(".to_owned()"), "{msg}");
+}
+
+#[test]
+fn alloc_7_transitive_method_call_on_own_type_is_caught() {
+    // `self.frame()` resolves to the sibling method, whose `clone` is then
+    // on the hot path with the method hop in the chain.
+    let src = format!(
+        "struct Store {{ buf: Vec<u8> }}\nimpl Store {{\n    fn serve(&self) {{ self.frame(); }}\n    fn frame(&self) -> Vec<u8> {{\n        self.buf.clone()\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 5);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/shard.rs", 5);
+    assert!(
+        msg.contains("Store::serve") && msg.contains("frame") && msg.contains(".clone()"),
+        "chain should include the method hop: {msg}"
+    );
+}
+
+#[test]
+fn alloc_8_owning_constructor_in_root_is_caught() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self, n: u8) -> Box<u8> {{\n        Box::new(n)\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/shard.rs", 4);
+    assert!(msg.contains("Box::new"), "{msg}");
+}
+
+#[test]
+fn alloc_9_vec_macro_transitively_reached_is_caught() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve_rules(&self) {{ scratch(); }}\n}}\nfn scratch() {{ let v = vec![0u8; 16]; }}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 5);
+    let msg = message_of(&v, Rule::HotAlloc, "dsp/src/shard.rs", 5);
+    assert!(msg.contains("vec!"), "{msg}");
+}
+
+// ------------------------------------------------- annotation discipline --
+
+#[test]
+fn annotation_without_reason_is_malformed_and_does_not_suppress() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{\n        // alloc: amortized\n        let v: Vec<u8> = Vec::new();\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAnnotation, "dsp/src/shard.rs", 4);
+    // A malformed justification must not silence the allocation either.
+    assert_caught(&v, Rule::HotAlloc, "dsp/src/shard.rs", 5);
+}
+
+#[test]
+fn stale_annotation_in_cold_fn_is_flagged() {
+    // A justification in a fn no hot root reaches is dead weight that would
+    // mislead reviewers; the analyzer demands it be removed.
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{}}\n}}\nfn offline_report() {{\n    // alloc: cold — report built off the serving path\n    let v: Vec<u8> = Vec::new();\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAnnotation, "dsp/src/shard.rs", 6);
+    let msg = message_of(&v, Rule::HotAnnotation, "dsp/src/shard.rs", 6);
+    assert!(msg.contains("stale"), "{msg}");
+}
+
+#[test]
+fn unknown_keyword_is_malformed() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{\n        // alloc: whenever — sounds fine\n        let v: Vec<u8> = Vec::new();\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert_caught(&v, Rule::HotAnnotation, "dsp/src/shard.rs", 4);
+}
+
+#[test]
+fn root_pattern_matching_no_fn_is_reported_against_the_config() {
+    // Only `next_event` exists; `Store::serve*` matches nothing, so the
+    // config itself is flagged — a rename must not silently un-root a path.
+    let v = run(&[file("src/stream.rs", ROOT_STUBS)]);
+    let hit = v
+        .iter()
+        .find(|v| v.rule == Rule::HotAnnotation && v.message.contains("Store::serve*"))
+        .unwrap_or_else(|| panic!("{v:#?}"));
+    assert_eq!(
+        hit.file.to_string_lossy(),
+        sdds_lint::escape::CONFIG_PATH,
+        "{hit:#?}"
+    );
+}
+
+// ------------------------------------------------------- false positives --
+
+#[test]
+fn clean_cold_fn_may_allocate_freely() {
+    // Nothing reaches `build_report` from a root: its allocations are fine
+    // and need no annotation.
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{}}\n}}\nfn build_report(n: usize) -> Vec<String> {{\n    let mut out = Vec::with_capacity(n);\n    out.push(format!(\"{{n}} shards\"));\n    out\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn clean_test_code_is_exempt() {
+    // `#[cfg(test)]` modules may allocate and may even shadow hot names.
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{}}\n}}\n{ROOT_STUBS}#[cfg(test)]\nmod tests {{\n    fn serve_fixture() -> Vec<u8> {{\n        vec![1, 2, 3]\n    }}\n    fn label(i: usize) -> String {{\n        format!(\"case-{{i}}\")\n    }}\n}}\n"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn clean_justified_annotation_suppresses() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{\n        // alloc: amortized — buffer reuses spare capacity across events\n        let v: Vec<u8> = Vec::with_capacity(8);\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn clean_justification_in_comment_block_above_suppresses() {
+    // The annotation may sit in the contiguous comment block above the
+    // flagged line, with prose wrapping onto following comment lines.
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{\n        // alloc: startup — the directory entry is created on first\n        // touch and reused for the rest of the session.\n        let v: Vec<u8> = Vec::new();\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn clean_arc_clone_is_a_refcount_bump_not_an_allocation() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self, blob: &Arc<[u8]>) -> Arc<[u8]> {{\n        Arc::clone(blob)\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn clean_builder_outside_roots_may_allocate() {
+    // Startup/builder code (session setup, config loading) is outside the
+    // roots by design: per-session allocation is not per-event allocation.
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) {{}}\n}}\nstruct StoreBuilder {{ shards: Vec<String> }}\nimpl StoreBuilder {{\n    fn shard(mut self, name: &str) -> Self {{\n        self.shards.push(name.to_owned());\n        self\n    }}\n    fn build(self) -> Store {{\n        let _labels: Vec<String> = self.shards.iter().map(|s| format!(\"shard-{{s}}\")).collect();\n        Store\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn clean_vocabulary_words_in_string_literals_are_ignored() {
+    let src = format!(
+        "struct Store;\nimpl Store {{\n    fn serve(&self) -> &'static str {{\n        \"justify with `// alloc: amortized — <reason>` or drop the clone\"\n    }}\n}}\n{ROOT_STUBS}"
+    );
+    let v = run(&[file("dsp/src/shard.rs", &src)]);
+    assert!(v.is_empty(), "{v:#?}");
+}

@@ -188,6 +188,7 @@ impl Histogram {
                 .buckets
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
+                // alloc: cold — snapshots run on a stats scrape, not per served event.
                 .collect(),
             count: self.cells.count.load(Ordering::Relaxed),
             sum: self.cells.sum.load(Ordering::Relaxed),
@@ -321,12 +322,14 @@ impl Registry {
             .iter()
             .find(|e| e.family == family && e.label.as_deref() == label)
         {
+            // alloc: amortized — metric handles are Arc-backed cells; the clone is a refcount bump.
             return found.metric.clone();
         }
         let metric = make();
         entries.push(Entry {
             family,
             label: label.map(str::to_owned),
+            // alloc: amortized — the label interns once per (family, label); later lookups hit the index.
             metric: metric.clone(),
         });
         metric
@@ -370,7 +373,9 @@ impl Registry {
         let mut snap = ObsSnapshot::default();
         for entry in entries.iter() {
             let key = MetricKey {
+                // alloc: cold — snapshots run on a stats scrape, not per served event.
                 family: entry.family.to_owned(),
+                // alloc: cold — snapshots run on a stats scrape, not per served event.
                 label: entry.label.clone(),
             };
             match &entry.metric {

@@ -136,6 +136,7 @@ impl Terminal {
         for (i, frag) in fragments.iter().enumerate() {
             let more = u8::from(i + 1 < fragments.len());
             self.runtime
+                // alloc: startup — rules travel once per session, at provisioning.
                 .exchange_expect_ok(&Apdu::new(ins::PUT_RULES, more, 0, frag.to_vec())?)?;
         }
         Ok(())
@@ -205,6 +206,7 @@ impl Terminal {
         chunk: &[u8],
         proof: &[u8],
     ) -> Result<usize, ProxyError> {
+        // alloc: amortized — one framing buffer per served chunk (index + proof + ciphertext), handed to the APDU layer.
         let mut payload = Vec::with_capacity(6 + proof.len() + chunk.len());
         payload.extend_from_slice(&index.to_le_bytes());
         payload.extend_from_slice(&(proof.len() as u16).to_le_bytes());
@@ -217,6 +219,7 @@ impl Terminal {
                 ins::PUSH_CHUNK,
                 more,
                 0,
+                // alloc: amortized — an APDU command owns its data: one copy of at most 255 bytes per fragment.
                 frag.to_vec(),
             )?)?;
         }

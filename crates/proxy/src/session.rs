@@ -27,6 +27,8 @@ use std::time::Duration;
 
 use sdds_card::apdu::{ins, Apdu};
 use sdds_card::{BatchedChannel, CostModel};
+use sdds_core::secdoc::DocumentHeader;
+use sdds_crypto::merkle::MerkleProof;
 use sdds_dsp::service::{Schedulable, StepOutcome};
 use sdds_dsp::{DspService, SessionObs};
 
@@ -189,9 +191,11 @@ impl CardSession {
         // The header fetch pins the upload revision for the whole session:
         // every later request carries it, so a mid-pull republish becomes a
         // typed `StaleRevision`, never a Merkle mismatch.
-        let (header, revision) = self
+        let pinned = self
             .service
             .fetch_header_pinned_salted(&self.doc_id, self.route_salt)?;
+        let header: DocumentHeader = pinned.0;
+        let revision = pinned.1;
         self.revision = Some(revision);
         // Protected rules travel through the untrusted DSP as an opaque blob;
         // the card authenticates them itself on PUT_RULES.
@@ -224,12 +228,16 @@ impl CardSession {
             // lint: infallible — `start` pins the revision before entering
             // the `Streaming` phase that calls `stream`.
             let revision = self.revision.expect("streaming session pinned at start");
-            let (chunk, proof) = self.service.fetch_chunk_pinned_salted(
+            let served = self.service.fetch_chunk_pinned_salted(
                 &self.doc_id,
                 index,
                 revision,
                 self.route_salt,
             )?;
+            let chunk: Arc<[u8]> = served.0;
+            let proof: MerkleProof = served.1;
+            // alloc: amortized — the sibling path is ~33 bytes per tree level
+            // (a handful of levels per document); the chunk itself is shared.
             let pushed = self.terminal.push_chunk(index, &chunk, &proof.encode())?;
             // The whole request rides the step's batch: the 5-byte
             // NEXT_REQUEST command and chunk payload out, the 4-byte index
@@ -274,6 +282,7 @@ impl Schedulable for CardSession {
             return Ok(StepOutcome::Complete);
         }
         if self.phase == SessionPhase::Failed {
+            // alloc: cold — failed-session error path.
             return Err(self.error.clone().unwrap_or_else(|| "failed".into()));
         }
         let result = self.advance(quantum);
@@ -283,8 +292,10 @@ impl Schedulable for CardSession {
         match result {
             Ok(outcome) => Ok(outcome),
             Err(e) => {
+                // alloc: cold — failed-session error path.
                 let message = format!("session `{}`: {e}", self.doc_id);
                 self.phase = SessionPhase::Failed;
+                // alloc: cold — failed-session error path.
                 self.error = Some(message.clone());
                 self.failure = Some(e);
                 Err(message)
@@ -322,6 +333,7 @@ impl Terminal {
             ins::OPEN_SESSION,
             0,
             policy,
+            // alloc: startup — the header travels once per session, at open.
             header.to_vec(),
         )?)?;
         Ok(())

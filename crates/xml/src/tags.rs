@@ -62,7 +62,9 @@ impl TagDict {
         // limit (see the doc comment above); the paper's corpora stay two
         // orders of magnitude below it.
         let id = TagId(u16::try_from(self.names.len()).expect("too many distinct tags"));
+        // alloc: amortized — the first occurrence of a tag allocates; repeats hit the index.
         self.names.push(name.to_owned());
+        // alloc: amortized — the first occurrence of a tag allocates; repeats hit the index.
         self.ids.insert(name.to_owned(), id);
         id
     }
@@ -147,6 +149,7 @@ impl TagSet {
     /// Creates an empty set pre-sized for `n` distinct tags.
     pub fn with_capacity(n: usize) -> Self {
         TagSet {
+            // alloc: amortized — one bitmap per set, bounded by the dictionary size.
             bits: vec![0; n.div_ceil(64)],
         }
     }

@@ -4,7 +4,8 @@
 # Runs the E1–E11 harness in JSON mode and compares the gated metrics against
 # the committed BENCH_baseline.json:
 #
-#   * throughput metrics (E1 events/s per rule count, E9 SOE events/s, E10
+#   * throughput metrics (E1 events/s per rule count, E9 SOE events/s and
+#     zero-copy serve events/s, E10
 #     aggregate simulated events/s, shard-scaling ratio and hot-document
 #     replication gain, E11 per-engine events/s and actor-vs-thread speedup)
 #     must not drop more than TOLERANCE_PCT below the baseline,
@@ -48,7 +49,7 @@ metric() { # metric <file> <key> -> value (empty if absent)
 }
 
 gated_keys() { # the E1/E9/E10/E11 throughput and peak-RAM keys in the baseline
-    grep -oE '"(e1\.rules_[0-9]+\.(events_per_s|peak_ram_bytes)|e9\.n[0-9]+\.(soe_events_per_s|soe_peak_ram_bytes)|e10\.clients_[0-9]+\.(shards_[0-9]+\.events_per_s|scaling_16v1)|e10\.hot\.clients_[0-9]+\.(replicas_[0-9]+\.events_per_s|replication_gain)|e11\.sessions_[0-9]+\.((thread|actor)\.events_per_s|speedup_actor_v_thread))"' \
+    grep -oE '"(e1\.rules_[0-9]+\.(events_per_s|peak_ram_bytes)|e9\.n[0-9]+\.(soe_events_per_s|soe_peak_ram_bytes)|e9\.zero_copy\.serve_events_per_s|e10\.clients_[0-9]+\.(shards_[0-9]+\.events_per_s|scaling_16v1)|e10\.hot\.clients_[0-9]+\.(replicas_[0-9]+\.events_per_s|replication_gain)|e11\.sessions_[0-9]+\.((thread|actor)\.events_per_s|speedup_actor_v_thread))"' \
         "$BASELINE" | tr -d '"' |
         # "ram" keeps only the machine-independent keys: peak RAM and the
         # simulated-clock E10/E11 metrics.

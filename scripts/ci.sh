@@ -19,11 +19,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> sdds-lint (concurrency + panic hygiene + trust-boundary taint)"
+echo "==> sdds-lint (concurrency + panic hygiene + taint + hot-path escapes)"
 # The taint pass statically proves no plaintext or key type reaches the DSP
-# or the obs export surface (see ARCHITECTURE.md, "Trust boundary"). The
-# machine-readable findings land next to the human report so CI logs and
-# tooling see the same thing.
+# or the obs export surface (see ARCHITECTURE.md, "Trust boundary"); the
+# hot-path pass proves the per-event serving path allocation-free, with
+# every remaining allocation carrying a justified `// alloc:` annotation
+# (ARCHITECTURE.md, "Hot path"). The machine-readable findings land next to
+# the human report so CI logs and tooling see the same thing.
 mkdir -p target
 if ! cargo run -q -p sdds-lint -- --json target/sdds-lint.json; then
     echo "sdds-lint findings (also at target/sdds-lint.json):" >&2

@@ -14,6 +14,7 @@ use sdds_sync::sync::Arc;
 use std::collections::VecDeque;
 
 use sdds_core::engine::{SecureEvaluationSession, SessionRequest, SessionStats};
+use sdds_crypto::merkle::MerkleProof;
 use sdds_dsp::{DspService, SessionObs};
 use sdds_xml::{writer, Event};
 
@@ -104,26 +105,36 @@ impl ViewStream {
     /// Serves exactly one SOE request (one chunk fetch + supply). `Ok(true)`
     /// when the document is fully processed.
     fn advance(&mut self) -> Result<bool, SddsError> {
-        // lint: infallible — `advance` is only called while `next` holds an
-        // open session (it is re-opened before every call that needs one).
-        let session = self.session.as_mut().expect("advance requires a session");
+        let session: &mut SecureEvaluationSession = self
+            .session
+            .as_mut()
+            // lint: infallible — `advance` is only called while `next` holds
+            // an open session.
+            .expect("advance requires a session");
         match session.next_request() {
             SessionRequest::Done => {
-                // lint: infallible — checked as `Some` at the top of `advance`.
-                let session = self.session.take().expect("session present");
-                let (rest, stats) = session.finish()?;
+                let ended: SecureEvaluationSession = self
+                    .session
+                    .take()
+                    // lint: infallible — checked as `Some` at the top of
+                    // `advance`.
+                    .expect("session present");
+                let (rest, stats) = ended.finish()?;
                 self.buffer.extend(rest);
                 self.stats = Some(stats);
                 Ok(true)
             }
             SessionRequest::NeedChunk(index) => {
-                let (chunk, proof) =
-                    self.service
-                        .fetch_chunk_pinned(&self.doc_id, index, self.revision)?;
+                let served = self
+                    .service
+                    .fetch_chunk_pinned(&self.doc_id, index, self.revision)?;
+                let chunk: Arc<[u8]> = served.0;
+                let proof: MerkleProof = served.1;
                 session.supply_chunk(index, &chunk, &proof)?;
                 let produced = session.take_output();
-                // Account the transfer like the terminal-side channel would.
-                let wire = chunk.len() + proof.encode().len();
+                // Account the transfer like the terminal-side channel would —
+                // by size only, without serialising the proof.
+                let wire = chunk.len() + proof.encoded_len();
                 let produced_len: usize = produced.iter().map(Event::serialized_len).sum();
                 session.record_exchange(wire, produced_len);
                 self.obs.record_exchange(wire, produced_len);
